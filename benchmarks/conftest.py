@@ -1,0 +1,28 @@
+"""Benchmark harness support.
+
+Each benchmark runs one paper experiment end-to-end at ``normal``
+fidelity, prints the regenerated table (the same rows/series the paper's
+figure reports), and asserts the paper's qualitative claims.  Experiments
+are deterministic, so a single round per benchmark is meaningful.
+"""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+FIDELITY = "normal"
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment once under the benchmark timer and print it."""
+
+    def runner(name):
+        result = benchmark.pedantic(
+            lambda: get_experiment(name).run(fidelity=FIDELITY),
+            rounds=1, iterations=1)
+        print()
+        print(result.table())
+        return result
+
+    return runner

@@ -1,0 +1,49 @@
+"""Benchmarks: the design-choice ablations DESIGN.md calls out."""
+
+
+def test_abl_wiring(run_experiment):
+    result = run_experiment("abl_wiring")
+    rows = {r["wiring"]: r for r in result.as_dicts()}
+    # The switch costs per-operation latency, lanes and power, but only a
+    # little throughput (§3.2's drawbacks list).
+    assert rows["switch"]["doorbell_ns"] > rows["bifurcation"]["doorbell_ns"]
+    assert rows["switch"]["lanes"] > rows["bifurcation"]["lanes"]
+    assert rows["switch"]["pktgen_mpps"] > 0.95 * rows["bifurcation"]["pktgen_mpps"]
+
+
+def test_abl_sg(run_experiment):
+    result = run_experiment("abl_sg")
+    for row in result.as_dicts():
+        assert row["speedup"] > 1.5
+        assert row["interconnect_bytes_fixed"] > 0
+
+
+def test_abl_octossd(run_experiment):
+    result = run_experiment("abl_octossd")
+    for row in result.as_dicts():
+        assert row["octossd_norm"] >= 0.98   # storage NUDMA eliminated
+    assert min(result.column("single_port_norm")) < 0.85
+
+
+def test_abl_ddio(run_experiment):
+    result = run_experiment("abl_ddio")
+    per_gbit = result.column("membw_per_gbit")
+    assert per_gbit[-1] > per_gbit[0] * 1.5  # smaller LLC -> more traffic
+
+
+def test_abl_window(run_experiment):
+    result = run_experiment("abl_window")
+    rates = result.column("remote_rx_gbps")
+    # Monotone in window depth up to plateau noise once saturated.
+    assert all(b >= a * 0.98 for a, b in zip(rates, rates[1:]))
+    assert rates[-1] > rates[0] * 2
+
+
+def test_abl_scale(run_experiment):
+    result = run_experiment("abl_scale")
+    for row in result.as_dicts():
+        assert row["octo_gbps"] >= row["standard_pf0_gbps"]
+    # Remote nodes pay with the standard NIC, never with the octoNIC.
+    remote_rows = [r for r in result.as_dicts() if r["workload_node"] != 0]
+    assert all(r["standard_pf0_gbps"] < r["octo_gbps"] * 0.85
+               for r in remote_rows)

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Figure 2 (NIC vs CPU bandwidth trend, §2.6)."""
+
+
+def test_fig02_trends(run_experiment):
+    result = run_experiment("fig02")
+    # One NIC covers the cloud-rate consumption of a CPU in every year.
+    assert all(x >= 1 for x in result.column("nic_covers_cloud_cpus"))

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 6 (single-core TCP Rx, §5.1.1)."""
+
+
+def test_fig06_tcp_rx(run_experiment):
+    result = run_experiment("fig06")
+    ratios = result.column("ratio_local_over_remote")
+    assert all(r > 1.05 for r in ratios)
+    assert ratios[-1] > ratios[0]
+    for row in result.as_dicts():
+        assert abs(row["ioct_gbps"] - row["local_gbps"]) < 0.5

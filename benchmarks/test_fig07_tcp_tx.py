@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 7 (single-core TCP Tx with TSO, §5.1.1)."""
+
+
+def test_fig07_tcp_tx(run_experiment):
+    result = run_experiment("fig07")
+    for ratio in result.column("ratio_local_over_remote"):
+        assert 0.95 <= ratio <= 1.10
+    row = result.as_dicts()[-1]
+    assert 0.85 <= row["remote_membw_over_tput"] <= 1.2

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 8 (single-core pktgen, §5.1.1)."""
+
+
+def test_fig08_pktgen(run_experiment):
+    result = run_experiment("fig08")
+    for row in result.as_dicts():
+        assert 1.25 <= row["ratio"] <= 1.45     # paper: 1.30-1.39
+        assert 3.9 <= row["ioct_mpps"] <= 4.3   # paper: 4.1 Mpps
+        assert 2.9 <= row["remote_mpps"] <= 3.2  # paper: 3.08 Mpps

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 9 (TCP RR latency, §5.1.2)."""
+
+
+def test_fig09_latency(run_experiment):
+    result = run_experiment("fig09")
+    for row in result.as_dicts():
+        assert 1.03 <= row["rr_over_ll"] <= 1.30
+        assert 1.0 <= row["llnd_over_ll"] < row["rr_over_ll"]

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 10 (memcached vs SET ratio, §5.1.3)."""
+
+
+def test_fig10_memcached(run_experiment):
+    result = run_experiment("fig10")
+    ratios = result.column("ratio")
+    assert ratios[-1] > ratios[0]
+    assert ratios[-1] >= 1.10   # paper: up to ~1.16x

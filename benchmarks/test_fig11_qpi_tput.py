@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 11 (TCP Rx under QPI congestion, §5.2)."""
+
+
+def test_fig11_qpi_tput(run_experiment):
+    result = run_experiment("fig11")
+    ratios = result.column("ratio")
+    assert max(ratios) >= 1.7   # paper: 1.82x-2.67x
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 12 (UDP latency under congestion, §5.2)."""
+
+
+def test_fig12_qpi_lat(run_experiment):
+    result = run_experiment("fig12")
+    remote = result.column("remote_us")
+    ioct = result.column("ioct_us")
+    assert remote[-1] > remote[0]
+    assert abs(ioct[-1] - ioct[0]) < 0.2
+    assert min(result.column("ioct_over_remote")) <= 0.80  # up to 22% lower

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Figure 13 (PageRank co-location, §5.2)."""
+
+
+def test_fig13_colocation(run_experiment):
+    result = run_experiment("fig13")
+    for row in result.as_dicts():
+        assert row["pr_slowdown_remote"] > 1.02

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 14 (thread migration steering, §5.3)."""
+
+
+def test_fig14_migration(run_experiment):
+    result = run_experiment("fig14")
+    rows = result.as_dicts()
+    octo = [r for r in rows if r["config"] == "octoNIC"]
+    std = [r for r in rows if r["config"] == "ethNIC"]
+    assert octo[-1]["pf1_gbps"] > 20 and octo[-1]["pf0_gbps"] == 0
+    assert std[-1]["pf0_gbps"] < std[0]["pf0_gbps"] * 0.85

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Figure 15 (NVMe under UPI congestion, §5.4)."""
+
+
+def test_fig15_nvme(run_experiment):
+    result = run_experiment("fig15")
+    norm = result.column("fio_normalized")
+    assert norm[0] == 1.0
+    assert 0.70 <= min(norm) <= 0.85   # paper: degrades by up to ~24%

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate the §2.4 remote-DDIO micro-experiment."""
+
+
+def test_sec24_remote_ddio(run_experiment):
+    result = run_experiment("sec24")
+    improvement = result.as_dicts()[1]["vs_default_remote"]
+    assert 0.95 <= improvement <= 1.05   # paper: marginal, up to 2%

@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the §5.1.1 multi-core throughput experiment."""
+
+
+def test_sec511_multicore(run_experiment):
+    result = run_experiment("sec511")
+    rows = {r["config"]: r for r in result.as_dicts()}
+    assert rows["ioctopus"]["total_gbps"] > 85   # line rate via both PFs
+    assert rows["ioctopus"]["membw_gbps"] > 10   # memory traffic appears

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Storage NUDMA and the octoSSD (§5.4, Figure 15 + future work).
+
+Four NVMe SSDs attached to socket 0 serve 8 fio threads pinned to socket
+1, while STREAM antagonists congest the same UPI direction as the SSD
+DMA.  Then the same drives are rebuilt as dual-port "octoSSDs" — the
+IOctopus principle applied to storage — and the sensitivity disappears.
+
+Run:  python examples/nvme_nudma.py
+"""
+
+from repro.core.configurations import Host
+from repro.nic.device import NicDevice
+from repro.nic.firmware import StandardFirmware
+from repro.nvme import NvmeController, NvmeDriver
+from repro.os_model.driver import StandardDriver
+from repro.pcie.fabric import bifurcate
+from repro.topology import dell_skylake
+from repro.workloads import spawn_fio_fleet
+from repro.workloads.stream_bench import StreamThread
+
+DURATION_NS = 100_000_000
+WARMUP_NS = 20_000_000
+N_SSDS = 4
+FIO_THREADS = 8
+
+
+def run(octo: bool, n_streams: int) -> float:
+    machine = dell_skylake()
+    nic = NicDevice(machine, bifurcate(machine, 16, [0], name="mgmt"),
+                    StandardFirmware(1))
+    host = Host(machine, nic, StandardDriver(machine, nic, 0))
+    attach = [0, 1] if octo else [0]
+    ssds = [NvmeController(machine,
+                           bifurcate(machine, 8 * len(attach), attach,
+                                     name=f"ssd{i}"), name=f"ssd{i}")
+            for i in range(N_SSDS)]
+    drivers = [NvmeDriver(machine, ssd, octo_mode=octo) for ssd in ssds]
+    fio_cores = machine.cores_on_node(1)[:FIO_THREADS]
+    fleet = spawn_fio_fleet(host, fio_cores, drivers, DURATION_NS,
+                            WARMUP_NS)
+    for i in range(n_streams):
+        StreamThread(host, machine.cores_on_node(0)[i], target_node=1,
+                     kind="write", duration_ns=DURATION_NS,
+                     warmup_ns=WARMUP_NS)
+    machine.env.run(until=DURATION_NS + DURATION_NS // 5)
+    return sum(f.throughput_gbps() for f in fleet) / 8  # Gb/s -> GB/s
+
+
+def main() -> None:
+    print("8 fio threads (async direct 128 KB reads, iodepth 32) on the "
+          "socket remote\nfrom 4 NVMe SSDs, with UPI-congesting STREAM "
+          "instances:\n")
+    print(f"{'streams':>8s} {'single-port SSD':>18s} "
+          f"{'dual-port octoSSD':>18s}")
+    base_std = run(False, 0)
+    base_octo = run(True, 0)
+    for streams in (0, 2, 5, 10):
+        std = run(False, streams)
+        octo = run(True, streams)
+        print(f"{streams:8d} {std:10.2f} GB/s ({std / base_std:4.0%}) "
+              f"{octo:10.2f} GB/s ({octo / base_octo:4.0%})")
+    print("\nSingle-port drives lose up to ~24% behind the saturated "
+          "UPI; the octoSSD's\ncommands and data never cross it, so its "
+          "throughput does not move.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""The paper's contribution: the octoNIC driver stack and testbed configs."""
+
+from repro.core.configurations import CONFIGS, FAR_NODE, NIC_NODE, Host, Testbed
+from repro.core.sg import (
+    SgFragment,
+    SgHint,
+    plan_fragments,
+    transmit_with_hints,
+    transmit_without_hints,
+)
+from repro.core.teaming import RULE_IDLE_NS, OctoTeamDriver
+
+__all__ = [
+    "CONFIGS",
+    "FAR_NODE",
+    "Host",
+    "NIC_NODE",
+    "OctoTeamDriver",
+    "RULE_IDLE_NS",
+    "SgFragment",
+    "SgHint",
+    "Testbed",
+    "plan_fragments",
+    "transmit_with_hints",
+    "transmit_without_hints",
+]

@@ -1,0 +1,126 @@
+"""The paper's evaluated configurations as a ready-to-run testbed (§5).
+
+A :class:`Testbed` builds two machines sharing one simulation clock — the
+*server* (whose NIC is bifurcated across both sockets, like the ConnectX-5
+Socket Direct card) and the *client* (single-PF NIC, always local) — wired
+back-to-back at 100 Gb/s.
+
+``config`` selects the server-side arrangement:
+
+* ``"local"``    — standard firmware; workload runs on the NIC-local node.
+* ``"remote"``   — standard firmware; workload runs on the other node, so
+  every DMA crosses the interconnect (the NUDMA configuration).
+* ``"ioctopus"`` — octoNIC firmware + team driver; the workload runs on
+  the *remote* node placement-wise, but the octoNIC steers through the PF
+  local to wherever the workload is — by design it must match ``local``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.teaming import OctoTeamDriver
+from repro.nic.device import NicDevice
+from repro.nic.firmware import OctoFirmware, StandardFirmware
+from repro.nic.wire import EthernetWire
+from repro.os_model.driver import NetDriver, StandardDriver
+from repro.os_model.netstack import NetworkStack
+from repro.os_model.scheduler import Scheduler
+from repro.pcie.fabric import bifurcate
+from repro.sim.engine import Environment
+from repro.topology.constants import MachineSpec, dell_r730_spec
+from repro.topology.machine import Machine
+
+CONFIGS = ("local", "remote", "ioctopus")
+
+#: The node the server NIC's PF0 attaches to.
+NIC_NODE = 0
+#: The node "remote" workloads run on.
+FAR_NODE = 1
+
+
+class Host:
+    """One machine plus its OS services and NIC."""
+
+    def __init__(self, machine: Machine, nic: NicDevice, driver: NetDriver):
+        self.machine = machine
+        self.nic = nic
+        self.driver = driver
+        self.scheduler = Scheduler(machine)
+        self.stack = NetworkStack(machine, self.scheduler)
+
+
+class Testbed:
+    """Server + client wired back-to-back, per the paper's §5 setup."""
+
+    #: Not a pytest test class, despite the name.
+    __test__ = False
+
+    def __init__(self, config: str, seed: int = 0, ddio: bool = True,
+                 spec: Optional[MachineSpec] = None,
+                 client_config: str = "local"):
+        if config not in CONFIGS:
+            raise ValueError(f"config must be one of {CONFIGS}, "
+                             f"got {config!r}")
+        if client_config not in ("local", "remote"):
+            raise ValueError("client_config must be 'local' or 'remote'")
+        self.config = config
+        self.client_config = client_config
+        spec = spec or dell_r730_spec()
+        self.env = Environment()
+        self.wire = EthernetWire(self.env)
+
+        # --- server: bifurcated x16 NIC, one x8 PF per socket (§4.1).
+        server = Machine(spec, seed=seed, env=self.env)
+        server_pfs = bifurcate(server, 16, [0, 1], name="srv")
+        if config == "ioctopus":
+            firmware = OctoFirmware(num_pfs=2)
+            nic = NicDevice(server, server_pfs, firmware, wire=self.wire,
+                            wire_side="b", name="octoNIC")
+            driver: NetDriver = OctoTeamDriver(server, nic)
+        else:
+            firmware = StandardFirmware(num_pfs=2)
+            nic = NicDevice(server, server_pfs, firmware, wire=self.wire,
+                            wire_side="b", name="ethNIC")
+            # Both `local` and `remote` use the PF0 netdev; what differs
+            # is where the workload runs (§5, "Evaluated configurations").
+            driver = StandardDriver(server, nic, pf_id=NIC_NODE)
+        self.server = Host(server, nic, driver)
+
+        # --- client: plain single-PF x16 NIC on node 0.
+        client = Machine(spec, seed=seed + 1, env=self.env)
+        client_pfs = bifurcate(client, 16, [0], name="cli")
+        client_nic = NicDevice(client, client_pfs, StandardFirmware(1),
+                               wire=self.wire, wire_side="a", name="cliNIC")
+        self.client = Host(client, client_nic,
+                           StandardDriver(client, client_nic, pf_id=0))
+
+        if not ddio:
+            server.memory.ddio_enabled = False
+            client.memory.ddio_enabled = False
+
+    # -------------------------------------------------------- placement
+
+    @property
+    def server_workload_node(self) -> int:
+        """Node the server workload (threads + memory) is pinned to."""
+        return NIC_NODE if self.config == "local" else FAR_NODE
+
+    @property
+    def client_workload_node(self) -> int:
+        return 0 if self.client_config == "local" else 1
+
+    def server_core(self, index: int = 0):
+        """The index-th workload core on the server."""
+        return self.server.machine.cores_on_node(
+            self.server_workload_node)[index]
+
+    def client_core(self, index: int = 0):
+        return self.client.machine.cores_on_node(
+            self.client_workload_node)[index]
+
+    def run(self, until_ns: int) -> None:
+        self.env.run(until=until_ns)
+
+    def __repr__(self) -> str:
+        return f"<Testbed {self.config} t={self.env.now}ns>"

@@ -1,0 +1,79 @@
+"""IOctoSG: per-fragment PF hints for transmits that span NUMA nodes.
+
+§3.3: when a transmitted buffer was not allocated by the NIC driver (e.g.
+``sendfile()`` out of the page cache), a single packet's fragments may live
+on different nodes.  No single PF can reach all of them without NUDMA, so
+IOctoSG lets the driver annotate each scatter-gather fragment with the PF
+that is local to that fragment's node.  (The paper's hardware prototype
+does not implement IOctoSG; we do, to evaluate the design point.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.memory.region import Region
+from repro.nic.device import NicDevice
+
+
+@dataclass(frozen=True)
+class SgFragment:
+    """One scatter-gather list entry."""
+
+    region: Region
+    nbytes: int
+
+    def __post_init__(self):
+        if self.nbytes <= 0:
+            raise ValueError(f"fragment bytes must be > 0, got {self.nbytes}")
+
+
+@dataclass(frozen=True)
+class SgHint:
+    """A fragment annotated with the PF the device should read it from."""
+
+    fragment: SgFragment
+    pf_id: int
+
+
+def plan_fragments(device: NicDevice,
+                   fragments: Sequence[SgFragment]) -> List[SgHint]:
+    """Assign each fragment the PF local to its home node.
+
+    Falls back to PF 0 for a node without a local PF (a partially
+    populated octoNIC).
+    """
+    hints = []
+    for fragment in fragments:
+        pf = device.pf_local_to(fragment.region.home_node)
+        hints.append(SgHint(fragment, pf.pf_id if pf else 0))
+    return hints
+
+
+def transmit_with_hints(device: NicDevice,
+                        hints: Sequence[SgHint]) -> int:
+    """DMA-read every fragment through its hinted PF; returns the device
+    delay (max across PFs, which operate in parallel)."""
+    if not hints:
+        raise ValueError("need at least one fragment")
+    delay = 0
+    for hint in hints:
+        pf = device.pf(hint.pf_id)
+        delay = max(delay, pf.dma_read(hint.fragment.region,
+                                       hint.fragment.nbytes))
+    return delay
+
+
+def transmit_without_hints(device: NicDevice, pf_id: int,
+                           hints: Sequence[SgHint]) -> int:
+    """Baseline: read every fragment through one fixed PF (what a standard
+    NIC must do) — remote fragments pay interconnect crossings."""
+    if not hints:
+        raise ValueError("need at least one fragment")
+    pf = device.pf(pf_id)
+    delay = 0
+    for hint in hints:
+        delay = max(delay, pf.dma_read(hint.fragment.region,
+                                       hint.fragment.nbytes))
+    return delay

@@ -1,0 +1,103 @@
+"""The octoNIC team driver: IOctopus mode (§4.2).
+
+The driver presents a multi-PF octoNIC as **one** netdevice.  It keeps one
+queue pair per core, each bound to the PF local to that core's socket, and
+piggybacks on the stack's existing callbacks:
+
+* XPS hands it transmits on the current core's queue -> the local PF.
+* The ARFS migration callback triggers both a per-PF ARFS update and an
+  IOctoRFS (flow -> PF) update, applied asynchronously by a kernel worker
+  after the old queue drains, so packets never reorder (§4.2 "Receive").
+* A periodic worker expires idle rules from the driver tables and the
+  device, mirroring the Linux ARFS garbage collector.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nic.device import NicDevice
+from repro.nic.firmware import OctoFirmware
+from repro.nic.packet import Flow
+from repro.nic.rings import QueueSet
+from repro.os_model.driver import NetDriver
+from repro.topology.machine import Core, Machine
+
+#: Default idle time before a steering rule is garbage-collected.
+RULE_IDLE_NS = 500_000_000  # 500 ms, matching ARFS defaults
+
+
+class OctoTeamDriver(NetDriver):
+    """The IOctopus-mode team driver (one netdev over all PFs)."""
+
+    name = "octo-team"
+
+    def __init__(self, machine: Machine, device: NicDevice):
+        super().__init__(machine, device)
+        if not isinstance(device.firmware, OctoFirmware):
+            raise TypeError(
+                "OctoTeamDriver requires a device running OctoFirmware; "
+                f"got {type(device.firmware).__name__}")
+        missing = [n for n in range(machine.spec.num_nodes)
+                   if device.pf_local_to(n) is None]
+        if missing:
+            raise ValueError(
+                f"octoNIC needs a PF on every node; missing {missing}")
+        self.queues = QueueSet(
+            machine, machine.cores,
+            pf_for_core=lambda core: device.pf_local_to(core.node_id))
+        for pf in device.pfs:
+            local_rx = [q for q in self.queues.rx
+                        if q.pf is pf]
+            device.firmware.register_default_queues(pf.pf_id, local_rx)
+        self._expiry_process = None
+
+    def dst_mac(self) -> str:
+        return OctoFirmware.MAC
+
+    def steer_rx(self, flow: Flow, core: Core,
+                 immediate: bool = False) -> None:
+        new_queue = self.rx_queue_for_core(core)
+        pf_id = new_queue.pf.pf_id
+        firmware: OctoFirmware = self.device.firmware
+        # The flow's current queue may live on ANY PF's ARFS table (the
+        # whole point of migration is that the PF changes).
+        current_pf = firmware.mpfs.current_pf(flow)
+        old_queue = (firmware.arfs[current_pf].lookup(flow)
+                     if current_pf is not None else None)
+
+        def apply():
+            now = self.env.now
+            firmware.arfs_update(pf_id, flow, new_queue, now=now)
+            firmware.ioctorfs_update(flow, pf_id, now=now)
+
+        if immediate or old_queue is None:
+            apply()
+            self.steering_updates += 1
+        else:
+            self._apply_after(self._drain_delay_ns(old_queue), apply)
+
+    # --------------------------------------------------------- rule expiry
+
+    def start_expiry_worker(self, period_ns: int = 100_000_000,
+                            idle_ns: int = RULE_IDLE_NS) -> None:
+        """Start the periodic kernel worker that deletes expired rules
+        from the driver tables and the device (§4.2)."""
+        if self._expiry_process is not None:
+            raise RuntimeError("expiry worker already running")
+
+        firmware: OctoFirmware = self.device.firmware
+
+        def worker():
+            while True:
+                yield self.env.timeout(period_ns)
+                now = self.env.now
+                expired = firmware.expire_idle(now, idle_ns)
+                for pf_id in range(firmware.num_pfs):
+                    for flow in firmware.arfs[pf_id].expire_idle(now,
+                                                                 idle_ns):
+                        if flow not in expired:
+                            expired.append(flow)
+
+        self._expiry_process = self.env.process(worker(),
+                                                name="octo-expiry")

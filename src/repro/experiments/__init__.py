@@ -1,0 +1,33 @@
+"""Experiments: one registered module per paper table/figure."""
+
+from repro.experiments import (  # noqa: F401  (registration side effects)
+    ablations,
+    fig02_trends,
+    fig06_tcp_rx,
+    fig07_tcp_tx,
+    fig08_pktgen,
+    fig09_latency,
+    fig10_memcached,
+    fig11_qpi_tput,
+    fig12_qpi_lat,
+    fig13_colocation,
+    fig14_migration,
+    fig15_nvme,
+    sec24_remote_ddio,
+    sec511_multicore,
+)
+from repro.experiments.base import (
+    Experiment,
+    ExperimentResult,
+    all_experiment_names,
+    get_experiment,
+    register,
+)
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "all_experiment_names",
+    "get_experiment",
+    "register",
+]

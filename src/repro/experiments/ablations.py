@@ -1,0 +1,254 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+These are not paper figures; they probe the knobs the paper's design
+discussion turns on:
+
+* ``abl_wiring`` — §3.2's three wiring options: per-operation latency,
+  lane and power cost of bifurcation vs. a programmable PCIe switch.
+* ``abl_sg``     — §3.3's IOctoSG: transmits whose fragments span NUMA
+  nodes, with and without per-fragment PF hints.
+* ``abl_octossd``— §5.4's future work: the fio-vs-STREAM experiment with
+  dual-port octoSSDs instead of single-port drives.
+* ``abl_ddio``   — sensitivity of local multi-flow Rx to LLC capacity
+  (and with it the DDIO slice).
+* ``abl_window`` — sensitivity of congested remote Rx to the DMA
+  engine's outstanding-transaction window.
+* ``abl_scale``  — IOctopus on a 4-socket machine (one x4 PF per socket).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.configurations import Testbed
+from repro.core.sg import (
+    SgFragment,
+    plan_fragments,
+    transmit_with_hints,
+    transmit_without_hints,
+)
+from repro.experiments.base import Experiment, ExperimentResult, register
+from repro.experiments.fig15_nvme import run_fio_point
+from repro.experiments.runners import run_tcp_stream, warmup_of
+from repro.nic.device import NicDevice
+from repro.nic.firmware import OctoFirmware
+from repro.nic.packet import Flow
+from repro.nic.wire import EthernetWire
+from repro.pcie.fabric import bifurcate
+from repro.pcie.switch import PcieSwitch
+from repro.sim.engine import Environment
+from repro.topology.constants import dell_r730_spec
+from repro.topology.machine import Machine
+from repro.units import KB
+from repro.workloads.netperf import TcpStream
+from repro.workloads.pktgen import Pktgen
+
+
+@register
+class AblWiring(Experiment):
+    name = "abl_wiring"
+    paper_ref = "§3.2 wiring alternatives"
+    description = ("bifurcation vs programmable PCIe switch: pktgen rate, "
+                   "per-op latency tax, lanes and power")
+
+    def run(self, fidelity: str = "normal") -> ExperimentResult:
+        duration = self.duration_ns(fidelity)
+        result = self.result(
+            ["wiring", "pktgen_mpps", "doorbell_ns", "lanes", "power_w"],
+            notes="the switch trades per-operation latency, lanes and "
+                  "power for runtime flexibility (reattach, P2P DMA)")
+        for wiring in ("bifurcation", "switch"):
+            env = Environment()
+            machine = Machine(dell_r730_spec(), env=env)
+            wire = EthernetWire(env)
+            if wiring == "bifurcation":
+                pfs = bifurcate(machine, 16, [0, 1], name="octo")
+                lanes, power = 16, 0.0
+            else:
+                switch = PcieSwitch(machine)
+                pfs = switch.attach_per_node(8, name="octo")
+                lanes, power = switch.lanes_required(), switch.power_watts
+            nic = NicDevice(machine, pfs, OctoFirmware(2), wire=wire,
+                            wire_side="b")
+            from repro.core.teaming import OctoTeamDriver
+            from repro.core.configurations import Host
+            host = Host(machine, nic, OctoTeamDriver(machine, nic))
+            core = machine.cores_on_node(0)[0]
+            workload = Pktgen(host, core, 1500, duration,
+                              warmup_of(duration))
+            env.run(until=duration + duration // 5)
+            result.add(wiring, round(workload.mpps(), 2),
+                       pfs[0].mmio_latency(0), lanes, power)
+        return result
+
+
+@register
+class AblSg(Experiment):
+    name = "abl_sg"
+    paper_ref = "§3.3 IOctoSG"
+    description = ("transmit buffers spanning NUMA nodes (sendfile-style): "
+                   "per-fragment PF hints vs a single fixed PF")
+
+    def run(self, fidelity: str = "normal") -> ExperimentResult:
+        testbed = Testbed("ioctopus")
+        machine = testbed.server.machine
+        device = testbed.server.nic
+        result = self.result(
+            ["fragments", "hinted_delay_us", "fixed_pf_delay_us",
+             "speedup", "interconnect_bytes_fixed"],
+            notes="hinted reads never cross the interconnect; a fixed PF "
+                  "pulls half its fragments across it")
+        for n_fragments in (2, 8, 32, 128):
+            frag_bytes = 64 * KB
+            fragments = [
+                SgFragment(machine.alloc_region(f"pg{i}", i % 2,
+                                                frag_bytes), frag_bytes)
+                for i in range(n_fragments)]
+            hints = plan_fragments(device, fragments)
+            hinted = transmit_with_hints(device, hints)
+            before = sum(link.server.bytes_total
+                         for link in machine.interconnect.links())
+            fixed = transmit_without_hints(device, 0, hints)
+            crossed = sum(link.server.bytes_total
+                          for link in machine.interconnect.links()) - before
+            result.add(n_fragments, round(hinted / 1000, 2),
+                       round(fixed / 1000, 2),
+                       round(fixed / max(hinted, 1), 2), crossed)
+        return result
+
+
+@register
+class AblOctoSsd(Experiment):
+    name = "abl_octossd"
+    paper_ref = "§5.4 future work (octoSSD)"
+    description = ("the Fig 15 scenario with dual-port octoSSDs: storage "
+                   "NUDMA disappears like the NIC's did")
+
+    def run(self, fidelity: str = "normal") -> ExperimentResult:
+        duration = self.duration_ns(fidelity) * 2
+        result = self.result(
+            ["streams", "single_port_norm", "octossd_norm"],
+            notes="normalised to each arrangement running alone")
+        base_std = run_fio_point(0, duration)["fio_gbps"]
+        base_octo = run_fio_point(0, duration, octo_mode=True)["fio_gbps"]
+        for streams in (0, 3, 5, 10):
+            std = run_fio_point(streams, duration)["fio_gbps"]
+            octo = run_fio_point(streams, duration,
+                                 octo_mode=True)["fio_gbps"]
+            result.add(streams, round(std / base_std, 2),
+                       round(octo / base_octo, 2))
+        return result
+
+
+@register
+class AblDdio(Experiment):
+    name = "abl_ddio"
+    paper_ref = "§2.2 DDIO sensitivity"
+    description = ("8 local TCP Rx flows vs the LLC slice DDIO may "
+                   "allocate into: a starved slice reintroduces memory "
+                   "traffic even for local DMA")
+
+    def run(self, fidelity: str = "normal") -> ExperimentResult:
+        duration = self.duration_ns(fidelity)
+        result = self.result(
+            ["llc_total_mb", "aggregate_rx_gbps", "local_membw_gbps",
+             "membw_per_gbit"],
+            notes="shrinking the LLC (and with it the DDIO slice and "
+                  "consumer windows) pushes local DMA toward remote-like "
+                  "memory behaviour; paper §5.1.1 multi-core shows the "
+                  "full-size case")
+        from repro.experiments.runners import MembwProbe
+        from repro.units import MB
+        for llc_mb in (70, 35, 18, 9):
+            spec = dell_r730_spec()
+            spec = replace(spec, cpu=replace(spec.cpu,
+                                             llc_bytes=llc_mb * MB))
+            testbed = Testbed("local", spec=spec)
+            host = testbed.server
+            cores = host.machine.cores_on_node(0)[:8]
+            warmup = warmup_of(duration)
+            workloads = [TcpStream(host, core, Flow.make(i), 64 * KB,
+                                   "rx", duration, warmup)
+                         for i, core in enumerate(cores)]
+            probe = MembwProbe(testbed, duration)
+            testbed.run(duration + duration // 5)
+            total = sum(w.throughput_gbps() for w in workloads)
+            result.add(llc_mb, round(total, 2), round(probe.gbps, 2),
+                       round(probe.gbps / total, 3) if total else 0.0)
+        return result
+
+
+@register
+class AblWindow(Experiment):
+    name = "abl_window"
+    paper_ref = "§5.2 DMA-window sensitivity"
+    description = ("remote TCP Rx under 6 STREAM pairs vs the DMA "
+                   "engine's outstanding-line window")
+
+    def run(self, fidelity: str = "normal") -> ExperimentResult:
+        duration = self.duration_ns(fidelity)
+        result = self.result(
+            ["outstanding_lines", "remote_rx_gbps"],
+            notes="a deeper window hides more of the congested "
+                  "interconnect's latency, exactly like MLP in a core")
+        for window in (8, 16, 32, 64, 128):
+            testbed = Testbed("remote")
+            testbed.server.machine.memory.dma_outstanding_lines = window
+            testbed.client.machine.memory.dma_outstanding_lines = window
+            warmup = warmup_of(duration)
+            workload = TcpStream(testbed.server, testbed.server_core(0),
+                                 Flow.make(0), 64 * KB, "rx", duration,
+                                 warmup)
+            from repro.workloads.stream_bench import spawn_stream_pairs
+            spawn_stream_pairs(testbed.server, 6, duration, warmup,
+                               skip_cores=[testbed.server_core(0)])
+            testbed.run(duration + duration // 5)
+            result.add(window, round(workload.throughput_gbps(), 2))
+        return result
+
+
+@register
+class AblScale(Experiment):
+    name = "abl_scale"
+    paper_ref = "§3.2 (multi-socket generality)"
+    description = ("IOctopus on a 4-socket machine: one x4 PF per socket "
+                   "still makes every placement local")
+
+    def run(self, fidelity: str = "normal") -> ExperimentResult:
+        duration = self.duration_ns(fidelity)
+        spec = dell_r730_spec()
+        spec = replace(spec, num_nodes=4)
+        result = self.result(
+            ["workload_node", "standard_pf0_gbps", "octo_gbps"],
+            notes="standard = single PF on node 0; octo = one PF per "
+                  "socket via the team driver")
+        for node in range(4):
+            rates = {}
+            for arrangement in ("standard", "octo"):
+                env = Environment()
+                machine = Machine(spec, env=env)
+                wire = EthernetWire(env)
+                from repro.core.configurations import Host
+                from repro.core.teaming import OctoTeamDriver
+                from repro.nic.firmware import StandardFirmware
+                from repro.os_model.driver import StandardDriver
+                if arrangement == "octo":
+                    pfs = bifurcate(machine, 16, [0, 1, 2, 3], name="o4")
+                    nic = NicDevice(machine, pfs, OctoFirmware(4),
+                                    wire=wire, wire_side="b")
+                    host = Host(machine, nic,
+                                OctoTeamDriver(machine, nic))
+                else:
+                    pfs = bifurcate(machine, 16, [0], name="s4")
+                    nic = NicDevice(machine, pfs, StandardFirmware(1),
+                                    wire=wire, wire_side="b")
+                    host = Host(machine, nic,
+                                StandardDriver(machine, nic, 0))
+                core = machine.cores_on_node(node)[0]
+                workload = TcpStream(host, core, Flow.make(0), 64 * KB,
+                                     "rx", duration, warmup_of(duration))
+                env.run(until=duration + duration // 5)
+                rates[arrangement] = workload.throughput_gbps()
+            result.add(node, round(rates["standard"], 2),
+                       round(rates["octo"], 2))
+        return result

@@ -1,0 +1,98 @@
+"""Experiment framework: one registered experiment per paper table/figure.
+
+Every experiment produces an :class:`ExperimentResult` whose rows mirror
+the paper's axes, so the benchmark harness can both print the table and
+assert the paper's qualitative claims (who wins, by what factor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.metrics.collect import format_table
+
+#: Milliseconds of simulated time per configuration point, by fidelity.
+DURATIONS_MS = {"quick": 10, "normal": 40, "long": 200}
+
+
+@dataclass
+class ExperimentResult:
+    """The rows an experiment regenerates."""
+
+    experiment: str
+    paper_ref: str
+    headers: List[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, *row) -> None:
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, headers have "
+                f"{len(self.headers)}")
+        self.rows.append(row)
+
+    def table(self) -> str:
+        title = f"{self.experiment} ({self.paper_ref})"
+        text = format_table(self.headers, self.rows, title=title)
+        if self.notes:
+            text += f"\n  note: {self.notes}"
+        return text
+
+    def column(self, header: str) -> List:
+        try:
+            index = self.headers.index(header)
+        except ValueError:
+            raise KeyError(f"no column {header!r}; have {self.headers}")
+        return [row[index] for row in self.rows]
+
+    def as_dicts(self) -> List[Dict]:
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
+
+class Experiment:
+    """Base class; subclasses set metadata and implement ``run()``."""
+
+    name = "base"
+    paper_ref = ""
+    description = ""
+
+    def run(self, fidelity: str = "normal") -> ExperimentResult:
+        raise NotImplementedError
+
+    def duration_ns(self, fidelity: str) -> int:
+        try:
+            return DURATIONS_MS[fidelity] * 1_000_000
+        except KeyError:
+            raise ValueError(
+                f"fidelity must be one of {sorted(DURATIONS_MS)}, "
+                f"got {fidelity!r}") from None
+
+    def result(self, headers: List[str], notes: str = "") -> (
+            ExperimentResult):
+        return ExperimentResult(self.name, self.paper_ref, headers,
+                                notes=notes)
+
+
+_REGISTRY: Dict[str, Callable[[], Experiment]] = {}
+
+
+def register(cls):
+    """Class decorator adding an experiment to the registry."""
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate experiment name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_experiment(name: str) -> Experiment:
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KeyError(f"unknown experiment {name!r}; "
+                       f"known: {sorted(_REGISTRY)}") from None
+
+
+def all_experiment_names() -> List[str]:
+    return sorted(_REGISTRY)

@@ -1,0 +1,65 @@
+"""Command-line entry point: run any experiment and print its table.
+
+Examples::
+
+    ioctopus-repro --list
+    ioctopus-repro fig08
+    ioctopus-repro fig06 fig07 --fidelity quick
+    ioctopus-repro --all --fidelity quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.base import all_experiment_names, get_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ioctopus-repro",
+        description="Reproduce the IOctopus (ASPLOS'20) evaluation on "
+                    "the NUDMA simulator")
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment names (see --list)")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments")
+    parser.add_argument("--all", action="store_true",
+                        help="run every experiment")
+    parser.add_argument("--fidelity", default="normal",
+                        choices=("quick", "normal", "long"),
+                        help="simulated duration per data point")
+    parser.add_argument("--report", action="store_true",
+                        help="emit a markdown report (tables + claim "
+                             "verdicts) instead of plain tables")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name in all_experiment_names():
+            experiment = get_experiment(name)
+            print(f"{name:8s} {experiment.paper_ref:30s} "
+                  f"{experiment.description}")
+        return 0
+    names = all_experiment_names() if args.all else args.experiments
+    if not names:
+        print("nothing to run: pass experiment names, --all, or --list",
+              file=sys.stderr)
+        return 2
+    if args.report:
+        from repro.analysis import run_report
+        print(run_report(names=names, fidelity=args.fidelity))
+        return 0
+    for name in names:
+        experiment = get_experiment(name)
+        print(experiment.run(fidelity=args.fidelity).table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Figure 2 (§2.6): NIC bandwidth vs. what one CPU can consume.
+
+A data model, not a simulation: the paper's argument is that a single
+NIC's full-duplex bandwidth has outgrown what all the cores of one CPU
+can push through TCP, so sharing one device across sockets is enough.
+Data points follow the paper's cited sources (Ethernet generations,
+Intel/AMD top core counts, and the two per-core rate assumptions).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import Experiment, ExperimentResult, register
+
+#: Ethernet generation shipping per year -> single-port full-duplex Gb/s.
+NIC_GBPS_BY_YEAR = {
+    2008: 10, 2010: 10, 2012: 40, 2014: 40, 2016: 100, 2018: 200,
+    2020: 400,
+}
+
+#: Highest per-CPU core count available that year (Intel/AMD).
+CORES_BY_YEAR = {
+    2008: 4, 2010: 8, 2012: 10, 2014: 12, 2016: 18, 2018: 28, 2020: 48,
+}
+
+#: Per-core TCP consumption assumptions (§2.6).
+CLOUD_MBPS_PER_CORE = 513        # EC2 high-spec upper bound
+BARE_METAL_GBPS_PER_CORE = 10.0  # aggressive netperf bare-metal rate
+
+
+@register
+class Fig02Trends(Experiment):
+    name = "fig02"
+    paper_ref = "Figure 2, §2.6"
+    description = ("NIC bandwidth vs. CPU consumption trend, 2008-2020: "
+                   "one NIC satisfies every CPU in the server")
+
+    def run(self, fidelity: str = "normal") -> ExperimentResult:
+        result = self.result(
+            ["year", "nic_single_gbps", "nic_dual_gbps", "cores",
+             "cpu_cloud_gbps", "cpu_baremetal_gbps",
+             "nic_covers_cloud_cpus", "nic_covers_baremetal_cpus"],
+            notes="full-duplex NIC bandwidth = 2x line rate; dual-port = "
+                  "2 ports")
+        for year in sorted(NIC_GBPS_BY_YEAR):
+            line = NIC_GBPS_BY_YEAR[year]
+            single = 2 * line          # full duplex
+            dual = 2 * single          # dual-port
+            cores = CORES_BY_YEAR[year]
+            cloud = cores * CLOUD_MBPS_PER_CORE / 1000.0
+            bare = cores * BARE_METAL_GBPS_PER_CORE
+            result.add(year, single, dual, cores, round(cloud, 2),
+                       round(bare, 1),
+                       round(single / cloud, 1) if cloud else 0.0,
+                       round(single / bare, 2) if bare else 0.0)
+        return result

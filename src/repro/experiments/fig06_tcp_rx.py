@@ -1,0 +1,43 @@
+"""Figure 6 (§5.1.1): single-core TCP stream receive."""
+
+from __future__ import annotations
+
+from repro.experiments.base import Experiment, ExperimentResult, register
+from repro.experiments.runners import run_tcp_stream
+from repro.units import KB
+
+MESSAGE_SIZES = [64, 256, 1 * KB, 4 * KB, 16 * KB, 64 * KB]
+
+
+@register
+class Fig06TcpRx(Experiment):
+    name = "fig06"
+    paper_ref = "Figure 6, §5.1.1"
+    description = ("single-core netperf TCP Rx: throughput, memory "
+                   "bandwidth and CPU per message size, per configuration")
+
+    def run(self, fidelity: str = "normal") -> ExperimentResult:
+        duration = self.duration_ns(fidelity)
+        result = self.result(
+            ["msg_bytes", "ioct_gbps", "local_gbps", "remote_gbps",
+             "ratio_local_over_remote", "ioct_membw_gbps",
+             "remote_membw_gbps", "ioct_cpu", "remote_cpu"],
+            notes="paper: ratio grows ~1.08 -> ~1.26 with size; remote "
+                  "membw ~3x its throughput; both CPU-bound")
+        for msg in MESSAGE_SIZES:
+            ioct = run_tcp_stream("ioctopus", msg, "rx", duration)
+            local = run_tcp_stream("local", msg, "rx", duration)
+            remote = run_tcp_stream("remote", msg, "rx", duration)
+            result.add(
+                msg,
+                round(ioct["throughput_gbps"], 2),
+                round(local["throughput_gbps"], 2),
+                round(remote["throughput_gbps"], 2),
+                round(local["throughput_gbps"]
+                      / remote["throughput_gbps"], 2),
+                round(ioct["membw_gbps"], 2),
+                round(remote["membw_gbps"], 2),
+                round(ioct["cpu_cores"], 2),
+                round(remote["cpu_cores"], 2),
+            )
+        return result

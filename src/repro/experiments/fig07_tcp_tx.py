@@ -1,0 +1,43 @@
+"""Figure 7 (§5.1.1): single-core TCP stream transmit (TSO enabled)."""
+
+from __future__ import annotations
+
+from repro.experiments.base import Experiment, ExperimentResult, register
+from repro.experiments.runners import run_tcp_stream
+from repro.units import KB
+
+MESSAGE_SIZES = [64, 256, 1 * KB, 4 * KB, 16 * KB, 64 * KB]
+
+
+@register
+class Fig07TcpTx(Experiment):
+    name = "fig07"
+    paper_ref = "Figure 7, §5.1.1"
+    description = ("single-core netperf TCP Tx with TSO: local and remote "
+                   "are comparable; remote membw equals its throughput")
+
+    def run(self, fidelity: str = "normal") -> ExperimentResult:
+        duration = self.duration_ns(fidelity)
+        result = self.result(
+            ["msg_bytes", "ioct_gbps", "local_gbps", "remote_gbps",
+             "ratio_local_over_remote", "ioct_membw_gbps",
+             "remote_membw_gbps", "remote_membw_over_tput"],
+            notes="paper: DMA reads are served without invalidation, so "
+                  "placements tie; remote membw == throughput (parallel "
+                  "DRAM probe)")
+        for msg in MESSAGE_SIZES:
+            ioct = run_tcp_stream("ioctopus", msg, "tx", duration)
+            local = run_tcp_stream("local", msg, "tx", duration)
+            remote = run_tcp_stream("remote", msg, "tx", duration)
+            tput = remote["throughput_gbps"]
+            result.add(
+                msg,
+                round(ioct["throughput_gbps"], 2),
+                round(local["throughput_gbps"], 2),
+                round(tput, 2),
+                round(local["throughput_gbps"] / tput, 2),
+                round(ioct["membw_gbps"], 2),
+                round(remote["membw_gbps"], 2),
+                round(remote["membw_gbps"] / tput, 2) if tput else 0.0,
+            )
+        return result

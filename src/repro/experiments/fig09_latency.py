@@ -1,0 +1,38 @@
+"""Figure 9 (§5.1.2): TCP RR latency, rr and llnd normalised to ll."""
+
+from __future__ import annotations
+
+from repro.experiments.base import Experiment, ExperimentResult, register
+from repro.experiments.runners import run_tcp_rr
+from repro.units import KB
+
+MESSAGE_SIZES = [1, 64, 256, 1 * KB, 4 * KB, 16 * KB, 64 * KB]
+
+
+@register
+class Fig09Latency(Experiment):
+    name = "fig09"
+    paper_ref = "Figure 9, §5.1.2"
+    description = ("netperf TCP RR: NUDMA on the critical path adds "
+                   "10-25%; the QPI crossing alone (llnd) is 5-15%")
+
+    def run(self, fidelity: str = "normal") -> ExperimentResult:
+        duration = self.duration_ns(fidelity)
+        result = self.result(
+            ["msg_bytes", "ll_us", "rr_us", "llnd_us",
+             "rr_over_ll", "llnd_over_ll"],
+            notes="ll/rr: both sides local/remote; nd: DDIO disabled in "
+                  "hardware on both sides")
+        for msg in MESSAGE_SIZES:
+            ll = run_tcp_rr("local", "local", True, msg, duration)
+            rr = run_tcp_rr("remote", "remote", True, msg, duration)
+            llnd = run_tcp_rr("local", "local", False, msg, duration)
+            result.add(
+                msg,
+                round(ll / 1000, 2),
+                round(rr / 1000, 2),
+                round(llnd / 1000, 2),
+                round(rr / ll, 3),
+                round(llnd / ll, 3),
+            )
+        return result

@@ -1,0 +1,41 @@
+"""Figure 11 (§5.2): TCP Rx throughput under QPI congestion."""
+
+from __future__ import annotations
+
+from repro.experiments.base import Experiment, ExperimentResult, register
+from repro.experiments.runners import run_tcp_stream
+from repro.units import KB
+
+STREAM_PAIRS = [1, 2, 3, 4, 5, 6]
+
+
+@register
+class Fig11QpiThroughput(Experiment):
+    name = "fig11"
+    paper_ref = "Figure 11, §5.2"
+    description = ("single-core TCP Rx co-located with STREAM pairs "
+                   "loading the QPI: ioct/local sustains 1.82-2.67x the "
+                   "remote throughput")
+
+    def run(self, fidelity: str = "normal") -> ExperimentResult:
+        duration = self.duration_ns(fidelity)
+        result = self.result(
+            ["stream_pairs", "ioct_gbps", "remote_gbps", "ratio",
+             "ioct_membw_gbps", "remote_membw_gbps"],
+            notes="paper: both configurations degrade with STREAM "
+                  "activity, remote much faster")
+        for pairs in STREAM_PAIRS:
+            ioct = run_tcp_stream("ioctopus", 64 * KB, "rx", duration,
+                                  stream_pairs=pairs)
+            remote = run_tcp_stream("remote", 64 * KB, "rx", duration,
+                                    stream_pairs=pairs)
+            result.add(
+                pairs,
+                round(ioct["throughput_gbps"], 2),
+                round(remote["throughput_gbps"], 2),
+                round(ioct["throughput_gbps"]
+                      / remote["throughput_gbps"], 2),
+                round(ioct["membw_gbps"], 2),
+                round(remote["membw_gbps"], 2),
+            )
+        return result

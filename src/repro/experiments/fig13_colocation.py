@@ -1,0 +1,108 @@
+"""Figure 13 (§5.2): PageRank co-located with I/O workloads.
+
+A 16-thread PageRank job (8 threads per CPU) runs to completion while six
+cores of the I/O socket run netperf TCP Rx instances or a memcached
+server.  The paper's result: PR runs ~12% slower when netperf is placed
+remote vs ioct/local, ~4% slower with memcached; memcached's own
+throughput suffers from sharing the QPI with PR, netperf's barely.
+"""
+
+from __future__ import annotations
+
+from repro.core.configurations import Testbed
+from repro.experiments.base import Experiment, ExperimentResult, register
+from repro.nic.packet import Flow
+from repro.units import KB, MB
+from repro.workloads.memcached import MemcachedServer
+from repro.workloads.netperf import TcpStream
+from repro.workloads.pagerank import PageRank
+
+#: PageRank threads per socket (paper: 8 pinned to each CPU).
+PR_PER_NODE = 8
+#: Co-located I/O instances (paper: the remaining six cores per CPU).
+IO_INSTANCES = 6
+
+PR_WORK_BYTES = {"quick": 8 * MB, "normal": 24 * MB, "long": 96 * MB}
+
+
+def _spawn_pagerank(testbed: Testbed, work_bytes: int) -> PageRank:
+    host = testbed.server
+    io_node = testbed.server_workload_node
+    cores = []
+    for node in range(host.machine.spec.num_nodes):
+        pool = host.machine.cores_on_node(node)
+        # Leave the first IO_INSTANCES cores of the I/O socket free.
+        start = IO_INSTANCES if node == io_node else 0
+        cores.extend(pool[start:start + PR_PER_NODE])
+    return PageRank(host, cores, work_bytes)
+
+
+def _run_to_completion(testbed: Testbed, pagerank: PageRank) -> int:
+    slice_ns = 10_000_000
+    while not pagerank.finished():
+        testbed.run(testbed.env.now + slice_ns)
+    return pagerank.runtime_ns()
+
+
+def run_point(config: str, io_kind: str, work_bytes: int) -> dict:
+    """One (configuration, I/O workload) cell of Fig 13."""
+    testbed = Testbed(config)
+    host = testbed.server
+    io_cores = host.machine.cores_on_node(
+        testbed.server_workload_node)[:IO_INSTANCES]
+    io_duration = 4_000_000_000  # outlives PR; measured from warmup only
+    if io_kind == "none":
+        io_workloads = []
+    elif io_kind == "netperf":
+        io_workloads = [
+            TcpStream(host, core, Flow.make(i), 64 * KB, "rx",
+                      io_duration, warmup_ns=1_000_000)
+            for i, core in enumerate(io_cores)]
+    elif io_kind == "memcached":
+        io_workloads = [MemcachedServer(host, io_cores, 0.1, io_duration,
+                                        warmup_ns=1_000_000,
+                                        value_bytes=256 * KB,
+                                        offered_ktps=16.0)]
+    else:
+        raise ValueError(f"unknown io_kind {io_kind!r}")
+
+    pagerank = _spawn_pagerank(testbed, work_bytes)
+    runtime = _run_to_completion(testbed, pagerank)
+
+    io_rate = 0.0
+    for workload in io_workloads:
+        meter = workload.meter
+        meter.finish(testbed.env.now)
+        io_rate += (meter.ktps() if io_kind == "memcached"
+                    else meter.gbps())
+    return {"pr_runtime_ns": runtime, "io_rate": io_rate}
+
+
+@register
+class Fig13Colocation(Experiment):
+    name = "fig13"
+    paper_ref = "Figure 13, §5.2"
+    description = ("PageRank victim + co-located netperf/memcached: "
+                   "remote I/O placement slows PR (~12% netperf, ~4% "
+                   "memcached)")
+
+    def run(self, fidelity: str = "normal") -> ExperimentResult:
+        work = PR_WORK_BYTES[fidelity if fidelity in PR_WORK_BYTES
+                             else "normal"]
+        result = self.result(
+            ["io_workload", "ioct_pr_ms", "remote_pr_ms",
+             "pr_slowdown_remote", "ioct_io_rate", "remote_io_rate"],
+            notes="io_rate: Gb/s for netperf, KT/s for memcached")
+        for io_kind in ("netperf", "memcached"):
+            ioct = run_point("ioctopus", io_kind, work)
+            remote = run_point("remote", io_kind, work)
+            result.add(
+                io_kind,
+                round(ioct["pr_runtime_ns"] / 1e6, 2),
+                round(remote["pr_runtime_ns"] / 1e6, 2),
+                round(remote["pr_runtime_ns"]
+                      / ioct["pr_runtime_ns"], 3),
+                round(ioct["io_rate"], 2),
+                round(remote["io_rate"], 2),
+            )
+        return result

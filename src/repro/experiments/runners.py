@@ -1,0 +1,103 @@
+"""Shared experiment runners (build a testbed, run one workload point)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.configurations import Testbed
+from repro.nic.packet import Flow
+from repro.units import gbps
+from repro.workloads.netperf import TcpRr, TcpStream
+from repro.workloads.pktgen import Pktgen
+from repro.workloads.stream_bench import spawn_stream_pairs
+
+#: Fraction of the run used as warmup before measurement starts.
+WARMUP_FRACTION = 0.15
+
+
+def warmup_of(duration_ns: int) -> int:
+    return int(duration_ns * WARMUP_FRACTION)
+
+
+def server_membw_gbps(testbed: Testbed, duration_ns: int) -> float:
+    """Server DRAM read+write traffic in Gb/s over the whole run."""
+    total = sum(d.read_bytes + d.write_bytes
+                for d in testbed.server.machine.memory.drams)
+    return total * 8 / duration_ns
+
+
+class MembwProbe:
+    """Measures server DRAM bandwidth and per-core CPU utilisation over
+    exactly the measurement window (warmup..duration), excluding both
+    cold-start transients (first fill of the skb pools) and the idle tail
+    after workloads stop."""
+
+    def __init__(self, testbed: Testbed, duration_ns: int):
+        self.gbps = 0.0
+        self._cpu_by_core = {}
+        machine = testbed.server.machine
+        warmup = warmup_of(duration_ns)
+
+        def probe():
+            yield machine.env.timeout(warmup)
+            machine.reset_measurement_windows()
+            yield machine.env.timeout(duration_ns - warmup)
+            total = sum(d.window_bytes() for d in machine.memory.drams)
+            self.gbps = total * 8 / (duration_ns - warmup)
+            self._cpu_by_core = {core.core_id: core.window_utilization()
+                                 for core in machine.cores}
+
+        machine.env.process(probe(), name="membw-probe")
+
+    def cpu(self, core) -> float:
+        return self._cpu_by_core.get(core.core_id, 0.0)
+
+
+def run_tcp_stream(config: str, message_bytes: int, direction: str,
+                   duration_ns: int, stream_pairs: int = 0,
+                   seed: int = 0) -> Dict[str, float]:
+    """One netperf TCP_STREAM point; returns throughput/membw/cpu."""
+    testbed = Testbed(config, seed=seed)
+    host = testbed.server
+    warmup = warmup_of(duration_ns)
+    workload = TcpStream(host, testbed.server_core(0), Flow.make(0),
+                         message_bytes, direction, duration_ns, warmup)
+    if stream_pairs:
+        spawn_stream_pairs(host, stream_pairs, duration_ns, warmup,
+                           skip_cores=[testbed.server_core(0)])
+    probe = MembwProbe(testbed, duration_ns)
+    testbed.run(duration_ns + duration_ns // 5)
+    return {
+        "throughput_gbps": workload.throughput_gbps(),
+        "membw_gbps": probe.gbps,
+        "cpu_cores": probe.cpu(workload.thread.core),
+    }
+
+
+def run_pktgen(config: str, packet_bytes: int, duration_ns: int,
+               ring_home_node: Optional[int] = None,
+               seed: int = 0) -> Dict[str, float]:
+    """One pktgen point."""
+    testbed = Testbed(config, seed=seed)
+    workload = Pktgen(testbed.server, testbed.server_core(0), packet_bytes,
+                      duration_ns, warmup_of(duration_ns),
+                      ring_home_node=ring_home_node)
+    probe = MembwProbe(testbed, duration_ns)
+    testbed.run(duration_ns + duration_ns // 5)
+    return {
+        "throughput_gbps": workload.throughput_gbps(),
+        "mpps": workload.mpps(),
+        "membw_gbps": probe.gbps,
+    }
+
+
+def run_tcp_rr(server_config: str, client_config: str, ddio: bool,
+               message_bytes: int, duration_ns: int,
+               seed: int = 0) -> float:
+    """One TCP_RR point; returns average RTT in ns."""
+    testbed = Testbed(server_config, client_config=client_config,
+                      ddio=ddio, seed=seed)
+    workload = TcpRr(testbed, message_bytes, duration_ns,
+                     warmup_of(duration_ns))
+    testbed.run(duration_ns + duration_ns // 5)
+    return workload.average_rtt_ns()

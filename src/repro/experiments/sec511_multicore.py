@@ -1,0 +1,63 @@
+"""§5.1.1 multi-core throughput: line rate, but memory traffic appears.
+
+With a netperf instance on every core, the bottleneck shifts from the CPU
+to the network/PCIe path; the octoNIC reaches line rate through both PFs,
+and — unlike the single-core case — even the local/ioctopus placement
+incurs memory traffic because the combined working set of all the cores
+exceeds the LLC.
+"""
+
+from __future__ import annotations
+
+from repro.core.configurations import Testbed
+from repro.experiments.base import Experiment, ExperimentResult, register
+from repro.experiments.runners import MembwProbe, warmup_of
+from repro.nic.packet import Flow
+from repro.units import KB
+from repro.workloads.netperf import TcpStream
+
+
+def run_multicore(config: str, duration_ns: int) -> dict:
+    testbed = Testbed(config)
+    host = testbed.server
+    if config == "ioctopus":
+        cores = host.machine.cores  # every core of the machine
+    else:
+        cores = host.machine.cores_on_node(testbed.server_workload_node)
+    warmup = warmup_of(duration_ns)
+    workloads = [TcpStream(host, core, Flow.make(i), 64 * KB, "rx",
+                           duration_ns, warmup)
+                 for i, core in enumerate(cores)]
+    probe = MembwProbe(testbed, duration_ns)
+    testbed.run(duration_ns + duration_ns // 5)
+    return {
+        "cores": len(cores),
+        "gbps": sum(w.throughput_gbps() for w in workloads),
+        "membw_gbps": probe.gbps,
+    }
+
+
+@register
+class Sec511Multicore(Experiment):
+    name = "sec511"
+    paper_ref = "§5.1.1, multi-core throughput"
+    description = ("netperf TCP Rx on every core: the network (not the "
+                   "CPU) is the bottleneck, and ioct/local now incurs "
+                   "memory traffic (combined working set > LLC)")
+
+    def run(self, fidelity: str = "normal") -> ExperimentResult:
+        duration = self.duration_ns(fidelity)
+        result = self.result(
+            ["config", "cores", "total_gbps", "membw_gbps",
+             "membw_per_gbit"],
+            notes="ioctopus spans both sockets through both PFs; the "
+                  "standard configs are capped by one x8 PF")
+        for config in ("ioctopus", "local", "remote"):
+            point = run_multicore(config, duration)
+            result.add(
+                config, point["cores"], round(point["gbps"], 1),
+                round(point["membw_gbps"], 1),
+                round(point["membw_gbps"] / point["gbps"], 3)
+                if point["gbps"] else 0.0,
+            )
+        return result

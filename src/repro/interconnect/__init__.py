@@ -1,0 +1,5 @@
+"""Socket-to-socket interconnect (QPI/UPI) models."""
+
+from repro.interconnect.link import Interconnect, InterconnectLink
+
+__all__ = ["Interconnect", "InterconnectLink"]

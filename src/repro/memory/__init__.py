@@ -1,0 +1,8 @@
+"""Memory hierarchy: regions, LLC (with DDIO), DRAM, and the access router."""
+
+from repro.memory.dram import DramController
+from repro.memory.llc import LastLevelCache
+from repro.memory.region import Region
+from repro.memory.system import MemorySystem
+
+__all__ = ["DramController", "LastLevelCache", "MemorySystem", "Region"]

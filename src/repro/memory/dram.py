@@ -1,0 +1,84 @@
+"""Per-node DRAM controllers.
+
+Each node's memory controller is a processor-sharing bandwidth server (many
+agents interleave on a real controller) plus read/write byte counters used
+to report "memory bandwidth" exactly the way the paper's figures do.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Environment
+from repro.sim.resources import ProcessorSharingServer, RateEstimator
+
+#: Latency inflation strength: fill latency grows as 1 + ALPHA * u^2 with
+#: controller utilisation u (classic open-queue approximation).
+_ALPHA = 3.0
+
+
+class DramController:
+    """One NUMA node's memory controller."""
+
+    def __init__(self, env: Environment, node_id: int,
+                 bytes_per_sec: float, miss_latency_ns: int):
+        self.env = env
+        self.node_id = node_id
+        self.miss_latency_ns = int(miss_latency_ns)
+        self.server = ProcessorSharingServer(
+            env, bytes_per_sec, name=f"dram{node_id}")
+        self.estimator = RateEstimator(env, bytes_per_sec)
+        self.read_bytes = 0
+        self.write_bytes = 0
+        self._window_start = 0
+        self._window_read = 0
+        self._window_write = 0
+
+    def read(self, nbytes: int) -> int:
+        """Charge a read burst; returns its bandwidth-limited service ns."""
+        self.read_bytes += nbytes
+        self._window_read += nbytes
+        self.estimator.update(nbytes)
+        return self.server.account(nbytes)
+
+    def write(self, nbytes: int) -> int:
+        """Charge a write burst; returns its bandwidth-limited service ns."""
+        self.write_bytes += nbytes
+        self._window_write += nbytes
+        self.estimator.update(nbytes)
+        return self.server.account(nbytes)
+
+    def load_factor(self) -> float:
+        """Multiplier applied to miss latencies under load (>= 1)."""
+        u = self.estimator.utilization()
+        return 1.0 + _ALPHA * u * u
+
+    def loaded_miss_latency(self) -> int:
+        """Miss latency inflated by the controller's current load."""
+        return int(self.miss_latency_ns * self.load_factor())
+
+    def enter(self) -> None:
+        """Declare a long-running bandwidth consumer (slows everyone)."""
+        self.server.enter()
+
+    def leave(self) -> None:
+        self.server.leave()
+
+    # ---------------------------------------------------------- reporting
+
+    def reset_window(self) -> None:
+        self._window_start = self.env.now
+        self._window_read = 0
+        self._window_write = 0
+
+    def window_bytes(self) -> int:
+        return self._window_read + self._window_write
+
+    def window_bandwidth_bps(self) -> float:
+        """Bytes/sec of combined read+write traffic since the last reset."""
+        elapsed = self.env.now - self._window_start
+        if elapsed <= 0:
+            return 0.0
+        return self.window_bytes() * 1e9 / elapsed
+
+    def __repr__(self) -> str:
+        return (f"<DramController node={self.node_id} "
+                f"r={self.read_bytes} w={self.write_bytes}>")

@@ -1,0 +1,41 @@
+"""Memory regions: the unit of placement and cache-residency tracking.
+
+A :class:`Region` stands for a logically-contiguous buffer — a descriptor
+ring, a packet-buffer pool, an application heap slab, a STREAM array.  It
+knows its **home node** (where its physical pages live, decided by the
+NUMA-aware allocator) and the simulator tracks, per LLC, how much of it is
+currently cache-resident.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_REGION_IDS = itertools.count()
+
+
+@dataclass(eq=False)
+class Region:
+    """A placed buffer."""
+
+    name: str
+    home_node: int
+    size: int
+    #: Regions written with non-temporal stores never allocate in the LLC.
+    non_temporal: bool = False
+    region_id: int = field(default_factory=lambda: next(_REGION_IDS))
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError(f"region {self.name!r} needs size > 0, "
+                             f"got {self.size}")
+        if self.home_node < 0:
+            raise ValueError(f"region {self.name!r} home_node must be >= 0")
+
+    def __hash__(self) -> int:
+        return self.region_id
+
+    def __repr__(self) -> str:
+        return (f"<Region {self.name} node={self.home_node} "
+                f"size={self.size}>")

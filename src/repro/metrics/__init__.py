@@ -1,0 +1,15 @@
+"""Measurement: throughput meters, latency recorders, time series."""
+
+from repro.metrics.collect import (
+    LatencyRecorder,
+    ThroughputMeter,
+    TimeSeries,
+    format_table,
+)
+
+__all__ = [
+    "LatencyRecorder",
+    "ThroughputMeter",
+    "TimeSeries",
+    "format_table",
+]

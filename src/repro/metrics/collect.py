@@ -1,0 +1,131 @@
+"""Measurement primitives: counters, time series, percentiles, reports."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class ThroughputMeter:
+    """Accumulates (bytes, messages) over a measurement window."""
+
+    start_ns: int = 0
+    bytes_total: int = 0
+    messages_total: int = 0
+    end_ns: Optional[int] = None
+
+    def record(self, nbytes: int, nmessages: int = 1) -> None:
+        self.bytes_total += nbytes
+        self.messages_total += nmessages
+
+    def finish(self, now_ns: int) -> None:
+        self.end_ns = now_ns
+
+    @property
+    def elapsed_ns(self) -> int:
+        if self.end_ns is None:
+            raise ValueError("finish() not called")
+        return max(1, self.end_ns - self.start_ns)
+
+    def gbps(self) -> float:
+        return self.bytes_total * 8 / self.elapsed_ns
+
+    def mpps(self) -> float:
+        return self.messages_total * 1e3 / self.elapsed_ns
+
+    def ktps(self) -> float:
+        """Kilo-transactions/sec (memcached's unit in Fig 10)."""
+        return self.messages_total * 1e6 / self.elapsed_ns
+
+
+class LatencyRecorder:
+    """Collects latency samples; reports average and percentiles."""
+
+    def __init__(self):
+        self.samples: List[int] = []
+
+    def record(self, latency_ns: int) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"negative latency {latency_ns}")
+        self.samples.append(latency_ns)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def average(self) -> float:
+        if not self.samples:
+            raise ValueError("no samples recorded")
+        return sum(self.samples) / len(self.samples)
+
+    def percentile(self, p: float) -> int:
+        """Nearest-rank percentile, p in [0, 100]."""
+        if not self.samples:
+            raise ValueError("no samples recorded")
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(p / 100 * len(ordered)))
+        return ordered[rank - 1]
+
+    def min(self) -> int:
+        return min(self.samples)
+
+    def max(self) -> int:
+        return max(self.samples)
+
+
+@dataclass
+class TimeSeries:
+    """(time, value) samples — e.g. Fig 14's per-PF throughput curves."""
+
+    name: str
+    times_ns: List[int] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def sample(self, time_ns: int, value: float) -> None:
+        self.times_ns.append(time_ns)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def value_at(self, time_ns: int) -> float:
+        """Value of the latest sample at or before ``time_ns``."""
+        best = None
+        for t, v in zip(self.times_ns, self.values):
+            if t <= time_ns:
+                best = v
+            else:
+                break
+        if best is None:
+            raise ValueError(f"no sample at or before {time_ns}")
+        return best
+
+    def mean(self, t_from: int = 0, t_to: Optional[int] = None) -> float:
+        picked = [v for t, v in zip(self.times_ns, self.values)
+                  if t >= t_from and (t_to is None or t <= t_to)]
+        if not picked:
+            raise ValueError("no samples in range")
+        return sum(picked) / len(picked)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Plain-text table in the style of the paper's figure captions."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([f"{v:.2f}" if isinstance(v, float) else str(v)
+                      for v in row])
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(w)
+                               for cell, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

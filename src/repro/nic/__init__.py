@@ -1,0 +1,45 @@
+"""NIC models: packets, queues, steering, firmwares, wire, device."""
+
+from repro.nic.device import PIPELINE_NS_PER_PKT, NicDevice
+from repro.nic.firmware import BaseFirmware, OctoFirmware, StandardFirmware
+from repro.nic.packet import (
+    FRAMING_BYTES,
+    HEADER_BYTES,
+    Flow,
+    packets_for,
+    wire_bytes,
+)
+from repro.nic.rings import (
+    RING_ENTRIES,
+    RX_BUFFER_SLOT,
+    NicQueue,
+    QueueSet,
+    RxQueue,
+    TxQueue,
+)
+from repro.nic.steering import ArfsTable, Mpfs, SteeringRule, rss_hash
+from repro.nic.wire import EthernetWire
+
+__all__ = [
+    "ArfsTable",
+    "BaseFirmware",
+    "EthernetWire",
+    "FRAMING_BYTES",
+    "Flow",
+    "HEADER_BYTES",
+    "Mpfs",
+    "NicDevice",
+    "NicQueue",
+    "OctoFirmware",
+    "PIPELINE_NS_PER_PKT",
+    "QueueSet",
+    "RING_ENTRIES",
+    "RX_BUFFER_SLOT",
+    "RxQueue",
+    "SteeringRule",
+    "StandardFirmware",
+    "TxQueue",
+    "packets_for",
+    "rss_hash",
+    "wire_bytes",
+]

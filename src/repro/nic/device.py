@@ -1,0 +1,175 @@
+"""The NIC device: PFs + firmware + port, with per-PF accounting.
+
+One :class:`NicDevice` models either configuration of the paper's server
+NIC: loaded with :class:`~repro.nic.firmware.StandardFirmware` it behaves
+as two independent netdevs (one per PF); loaded with
+:class:`~repro.nic.firmware.OctoFirmware` it is the octoNIC (Fig 4): one
+port, one MAC, and an IOctoRFS steering switch in front of the PFs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.memory.region import Region
+from repro.nic.firmware import BaseFirmware, OctoFirmware
+from repro.nic.packet import Flow
+from repro.nic.rings import NicQueue, RxQueue, TxQueue
+from repro.nic.wire import EthernetWire
+from repro.pcie.fabric import PhysicalFunction
+from repro.units import CACHELINE
+
+#: NIC pipeline cost per packet (ConnectX-class NICs forward >100 Mpps).
+PIPELINE_NS_PER_PKT = 6
+
+
+class NicDevice:
+    """A (possibly multi-PF) Ethernet NIC."""
+
+    def __init__(self, machine, pfs: List[PhysicalFunction],
+                 firmware: BaseFirmware, wire: Optional[EthernetWire] = None,
+                 wire_side: str = "b", name: str = "nic"):
+        if not pfs:
+            raise ValueError("a NIC needs at least one PF")
+        if firmware.num_pfs != len(pfs):
+            raise ValueError(
+                f"firmware expects {firmware.num_pfs} PFs, device has "
+                f"{len(pfs)}")
+        if wire_side not in ("a", "b"):
+            raise ValueError(f"wire_side must be 'a' or 'b', got {wire_side}")
+        self.machine = machine
+        self.pfs = pfs
+        self.firmware = firmware
+        self.wire = wire
+        self.wire_side = wire_side
+        self.name = name
+        for pf in pfs:
+            pf.device = self
+        self._pf_rx_bytes: Dict[int, int] = {pf.pf_id: 0 for pf in pfs}
+        self._pf_tx_bytes: Dict[int, int] = {pf.pf_id: 0 for pf in pfs}
+        self._pf_window_rx: Dict[int, int] = {pf.pf_id: 0 for pf in pfs}
+        self._window_start = machine.env.now
+
+    # ------------------------------------------------------------ helpers
+
+    @property
+    def env(self):
+        return self.machine.env
+
+    def pf(self, pf_id: int) -> PhysicalFunction:
+        return self.pfs[pf_id]
+
+    def mac_for_pf(self, pf_id: int) -> str:
+        if isinstance(self.firmware, OctoFirmware):
+            return OctoFirmware.MAC
+        return self.firmware.macs[pf_id]
+
+    def pf_local_to(self, node: int) -> Optional[PhysicalFunction]:
+        for pf in self.pfs:
+            if pf.attach_node == node:
+                return pf
+        return None
+
+    # ----------------------------------------------------------- receive
+
+    def rx_deliver(self, flow: Flow, dst_mac: str, npackets: int,
+                   payload_bytes: int,
+                   charge_wire: bool = True) -> Tuple[RxQueue, int]:
+        """A packet batch arrives from the wire.
+
+        The firmware steers it to a (PF, Rx queue); the device DMA-writes
+        payloads into the queue's buffer region and one completion entry
+        per packet into its ring.  Returns the queue and the device-side
+        delay until the last completion is visible.
+        """
+        if npackets < 1:
+            raise ValueError(f"npackets must be >= 1, got {npackets}")
+        now = self.env.now
+        pf_id, queue = self.firmware.steer_rx(flow, dst_mac, now)
+        pf = self.pfs[pf_id]
+
+        # Wire reception and DMA pipeline inside the NIC: a batch's wall
+        # time is the slower of the two stages plus the pipeline cost.
+        wire_delay = 0
+        if charge_wire and self.wire is not None:
+            direction = "a_to_b" if self.wire_side == "b" else "b_to_a"
+            wire_delay = self.wire.send(direction, npackets, payload_bytes)
+
+        payload_total = npackets * payload_bytes
+        # Sequential transfers on one PCIe link queue behind each other,
+        # so the later account() already includes the earlier's service:
+        # the batch completes with the completion-ring write.
+        buf_delay = pf.dma_write(queue.buffers, payload_total)
+        ring_delay = pf.dma_write(queue.ring, npackets * CACHELINE)
+        dma_delay = max(buf_delay, ring_delay)
+        delay = npackets * PIPELINE_NS_PER_PKT + max(wire_delay, dma_delay)
+
+        queue.outstanding += npackets
+        queue.account(npackets, payload_total)
+        self._pf_rx_bytes[pf_id] += payload_total
+        self._pf_window_rx[pf_id] += payload_total
+        return queue, delay
+
+    # ---------------------------------------------------------- transmit
+
+    def tx(self, queue: TxQueue, src_region: Region, npackets: int,
+           payload_bytes: int, ndesc: Optional[int] = None) -> int:
+        """Transmit a batch posted on ``queue``.
+
+        The device DMA-reads the descriptors and payload through the
+        queue's PF, puts the packets on the wire, and DMA-writes one
+        completion per descriptor back into the ring.  Returns the
+        device-side delay.
+        """
+        if queue.pf is None:
+            raise ValueError(f"{queue!r} is not bound to a PF")
+        if npackets < 1:
+            raise ValueError(f"npackets must be >= 1, got {npackets}")
+        pf = queue.pf
+        ndesc = ndesc if ndesc is not None else npackets
+        payload_total = npackets * payload_bytes
+
+        # Descriptor fetch + payload DMA pipeline against the wire; the
+        # payload read queues behind the descriptor fetch on the link.
+        desc_delay = pf.dma_read(queue.ring, ndesc * CACHELINE)
+        payload_delay = pf.dma_read(src_region, payload_total)
+        dma_delay = max(desc_delay, payload_delay)
+        wire_delay = 0
+        if self.wire is not None:
+            direction = "b_to_a" if self.wire_side == "b" else "a_to_b"
+            wire_delay = self.wire.send(direction, npackets, payload_bytes)
+        # Completion write-back pipelines with the payload DMA; it is the
+        # entry whose read costs the CPU ~80 ns when the PF is remote
+        # (§5.1.1, pktgen analysis).
+        completion_delay = pf.dma_write(queue.ring, ndesc * CACHELINE)
+        delay = (npackets * PIPELINE_NS_PER_PKT
+                 + max(wire_delay, dma_delay, completion_delay))
+
+        queue.account(npackets, payload_total)
+        self._pf_tx_bytes[pf.pf_id] += payload_total
+        return delay
+
+    # -------------------------------------------------------- accounting
+
+    def pf_rx_bytes(self, pf_id: int) -> int:
+        return self._pf_rx_bytes[pf_id]
+
+    def pf_tx_bytes(self, pf_id: int) -> int:
+        return self._pf_tx_bytes[pf_id]
+
+    def reset_pf_windows(self) -> None:
+        self._window_start = self.env.now
+        for pf_id in self._pf_window_rx:
+            self._pf_window_rx[pf_id] = 0
+
+    def pf_window_rx_gbps(self, pf_id: int) -> float:
+        """Per-PF receive throughput since the last window reset — the
+        quantity Fig 14 samples every 50 ms."""
+        elapsed = self.env.now - self._window_start
+        if elapsed <= 0:
+            return 0.0
+        return self._pf_window_rx[pf_id] * 8 / elapsed
+
+    def __repr__(self) -> str:
+        return (f"<NicDevice {self.name} firmware={self.firmware.name} "
+                f"pfs={[pf.attach_node for pf in self.pfs]}>")

@@ -1,0 +1,102 @@
+"""NIC firmware personalities.
+
+:class:`StandardFirmware` models the stock Mellanox firmware: the MPFS is
+keyed by destination MAC, each PF has its own MAC, and therefore a flow's
+PF is pinned for the flow's lifetime — remote DMA is unavoidable when the
+consuming thread migrates (§2.5).
+
+:class:`OctoFirmware` models the paper's prototype (§4.1): one external
+MAC, an MPFS re-keyed by flow 5-tuple (IOctoRFS), and per-PF ARFS tables
+consulted after the PF is chosen.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.nic.packet import Flow
+from repro.nic.steering import ArfsTable, Mpfs, rss_hash
+
+
+class BaseFirmware:
+    """Shared steering plumbing for both personalities."""
+
+    def __init__(self, num_pfs: int):
+        if num_pfs < 1:
+            raise ValueError(f"need >= 1 PF, got {num_pfs}")
+        self.num_pfs = num_pfs
+        self.arfs: List[ArfsTable] = [ArfsTable() for _ in range(num_pfs)]
+        #: Default (RSS) queue list per PF, registered by the driver.
+        self._default_queues: Dict[int, list] = {i: [] for i in range(num_pfs)}
+
+    def register_default_queues(self, pf_id: int, queues: list) -> None:
+        self._default_queues[pf_id] = list(queues)
+
+    def arfs_update(self, pf_id: int, flow: Flow, queue, now: int = 0) -> None:
+        self.arfs[pf_id].update(flow, queue, now)
+
+    def arfs_remove(self, pf_id: int, flow: Flow) -> bool:
+        return self.arfs[pf_id].remove(flow)
+
+    def _queue_for(self, pf_id: int, flow: Flow, now: int):
+        queue = self.arfs[pf_id].lookup(flow, now)
+        if queue is not None:
+            return queue
+        defaults = self._default_queues.get(pf_id) or []
+        if not defaults:
+            raise LookupError(f"PF {pf_id} has no queues registered")
+        return defaults[rss_hash(flow, len(defaults))]
+
+    def steer_rx(self, flow: Flow, dst_mac: str,
+                 now: int = 0) -> Tuple[int, object]:
+        raise NotImplementedError
+
+
+class StandardFirmware(BaseFirmware):
+    """Stock multi-PF firmware: MAC-keyed MPFS; one netdev per PF."""
+
+    name = "standard"
+
+    def __init__(self, num_pfs: int):
+        super().__init__(num_pfs)
+        self.mpfs = Mpfs(mode="mac")
+        self.macs: Dict[int, str] = {}
+        for pf_id in range(num_pfs):
+            mac = f"aa:bb:cc:dd:ee:{pf_id:02x}"
+            self.macs[pf_id] = mac
+            self.mpfs.bind_mac(mac, pf_id)
+
+    def steer_rx(self, flow: Flow, dst_mac: str,
+                 now: int = 0) -> Tuple[int, object]:
+        pf_id = self.mpfs.steer(flow, dst_mac, now)
+        return pf_id, self._queue_for(pf_id, flow, now)
+
+
+class OctoFirmware(BaseFirmware):
+    """The IOctopus prototype firmware: flow-keyed MPFS (IOctoRFS)."""
+
+    name = "octo"
+    #: The single externally-visible MAC of the octoNIC (§3.3).
+    MAC = "0c:70:0c:70:0c:70"
+
+    def __init__(self, num_pfs: int):
+        super().__init__(num_pfs)
+        self.mpfs = Mpfs(mode="flow")
+
+    def ioctorfs_update(self, flow: Flow, pf_id: int, now: int = 0) -> None:
+        """Point a flow at a PF (called by the octoNIC driver's kernel
+        worker after an ARFS migration callback, §4.2)."""
+        if not 0 <= pf_id < self.num_pfs:
+            raise ValueError(f"pf_id {pf_id} out of range")
+        self.mpfs.update_flow(flow, pf_id, now)
+
+    def ioctorfs_remove(self, flow: Flow) -> bool:
+        return self.mpfs.remove_flow(flow)
+
+    def expire_idle(self, now: int, idle_ns: int) -> List[Flow]:
+        return self.mpfs.expire_idle(now, idle_ns)
+
+    def steer_rx(self, flow: Flow, dst_mac: str,
+                 now: int = 0) -> Tuple[int, object]:
+        pf_id = self.mpfs.steer(flow, dst_mac, now)
+        return pf_id, self._queue_for(pf_id, flow, now)

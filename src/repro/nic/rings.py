@@ -1,0 +1,116 @@
+"""Per-core NIC queues and their descriptor rings.
+
+Each queue owns two memory regions, allocated on the node of the core it
+serves (the XPS/ARFS locality policy, §2.3):
+
+* a **ring** region holding request + completion descriptors, and
+* a **buffer** region holding packet payloads (Rx only; Tx reads payload
+  from whatever region the sender provides).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.memory.region import Region
+from repro.nic.moderation import AdaptiveCoalescing
+from repro.units import CACHELINE, KB
+
+#: Descriptors per ring (100 GbE drivers default to deep rings).
+RING_ENTRIES = 4096
+#: Rx buffer slot size: one MTU packet rounded to 2 KB pages.
+RX_BUFFER_SLOT = 2 * KB
+
+
+class NicQueue:
+    """Base class for Tx/Rx queues."""
+
+    direction = "?"
+
+    def __init__(self, queue_id: int, core, machine, pf=None):
+        self.queue_id = queue_id
+        self.core = core
+        self.machine = machine
+        #: The PF this queue is currently served by (set by the driver).
+        self.pf = pf
+        self.ring = machine.alloc_region(
+            f"{self.direction}ring{queue_id}", core.node_id,
+            RING_ENTRIES * CACHELINE)
+        #: Per-queue adaptive interrupt moderation (§5: enabled for the
+        #: throughput experiments, disabled for latency).
+        self.moderation = AdaptiveCoalescing()
+        #: Outstanding descriptors not yet consumed (for drain tracking).
+        self.outstanding = 0
+        self.bytes_total = 0
+        self.packets_total = 0
+
+    @property
+    def node_id(self) -> int:
+        return self.core.node_id
+
+    def is_drained(self) -> bool:
+        """True when no descriptors are outstanding — the precondition
+        both XPS and ARFS wait for before re-steering a socket, to avoid
+        out-of-order delivery (§2.3)."""
+        return self.outstanding == 0
+
+    def account(self, npackets: int, nbytes: int) -> None:
+        self.packets_total += npackets
+        self.bytes_total += nbytes
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {self.queue_id} "
+                f"core={self.core.core_id} pf={getattr(self.pf, 'name', None)}>")
+
+
+class RxQueue(NicQueue):
+    """A receive queue: NIC DMA-writes payloads + completions here."""
+
+    direction = "rx"
+
+    def __init__(self, queue_id: int, core, machine, pf=None):
+        super().__init__(queue_id, core, machine, pf)
+        self.buffers = machine.alloc_region(
+            f"rxbuf{queue_id}", core.node_id, RING_ENTRIES * RX_BUFFER_SLOT)
+
+
+class TxQueue(NicQueue):
+    """A transmit queue: the OS posts descriptors, the NIC DMA-reads."""
+
+    direction = "tx"
+
+    def __init__(self, queue_id: int, core, machine, pf=None,
+                 ooo_okay: bool = True):
+        super().__init__(queue_id, core, machine, pf)
+        #: Mirror of Linux XPS's per-packet ooo_okay flag: whether the
+        #: socket may switch to another Tx queue right now (§4.2).
+        self.ooo_okay = ooo_okay
+        #: Kernel socket buffers staged for transmit DMA, allocated on the
+        #: queue's node like the ring (XPS locality, §2.3).
+        self.skbs = machine.alloc_region(
+            f"txskb{queue_id}", core.node_id, RING_ENTRIES * RX_BUFFER_SLOT)
+
+
+class QueueSet:
+    """One queue pair per core, as the evaluated drivers configure (§5)."""
+
+    def __init__(self, machine, cores, pf_for_core=None):
+        self.machine = machine
+        self.rx: list = []
+        self.tx: list = []
+        for i, core in enumerate(cores):
+            pf = pf_for_core(core) if pf_for_core else None
+            self.rx.append(RxQueue(i, core, machine, pf))
+            self.tx.append(TxQueue(i, core, machine, pf))
+
+    def rx_for_core(self, core) -> Optional[RxQueue]:
+        for queue in self.rx:
+            if queue.core is core:
+                return queue
+        return None
+
+    def tx_for_core(self, core) -> Optional[TxQueue]:
+        for queue in self.tx:
+            if queue.core is core:
+                return queue
+        return None

@@ -1,0 +1,42 @@
+"""The Ethernet wire between two machines (back-to-back, as in §5)."""
+
+from __future__ import annotations
+
+from repro.nic.packet import wire_bytes
+from repro.sim.engine import Environment
+from repro.sim.resources import BandwidthServer
+from repro.units import bytes_per_sec
+
+
+class EthernetWire:
+    """A full-duplex point-to-point Ethernet link."""
+
+    def __init__(self, env: Environment, gigabits: float = 100.0,
+                 propagation_ns: int = 600):
+        if gigabits <= 0:
+            raise ValueError(f"link speed must be > 0, got {gigabits}")
+        self.env = env
+        self.gigabits = gigabits
+        self.propagation_ns = int(propagation_ns)
+        rate = bytes_per_sec(gigabits)
+        self.a_to_b = BandwidthServer(env, rate, name="wire.a->b")
+        self.b_to_a = BandwidthServer(env, rate, name="wire.b->a")
+
+    def send(self, direction: str, npackets: int, payload_bytes: int) -> int:
+        """Charge a packet batch; returns the wire delay in ns."""
+        if npackets < 0:
+            raise ValueError(f"negative packet count {npackets}")
+        server = self._server(direction)
+        total = npackets * wire_bytes(payload_bytes)
+        return self.propagation_ns + server.account(total)
+
+    def line_rate_packets_per_sec(self, payload_bytes: int) -> float:
+        """Maximum packet rate the wire sustains at this payload size."""
+        return bytes_per_sec(self.gigabits) / wire_bytes(payload_bytes)
+
+    def _server(self, direction: str) -> BandwidthServer:
+        if direction == "a_to_b":
+            return self.a_to_b
+        if direction == "b_to_a":
+            return self.b_to_a
+        raise ValueError(f"unknown direction {direction!r}")

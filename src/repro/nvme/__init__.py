@@ -1,0 +1,17 @@
+"""NVMe models: controllers (dual-port capable) and the block driver."""
+
+from repro.nvme.device import (
+    FLASH_BYTES_PER_SEC,
+    FLASH_READ_LATENCY_NS,
+    NvmeController,
+    NvmeQueuePair,
+)
+from repro.nvme.driver import NvmeDriver
+
+__all__ = [
+    "FLASH_BYTES_PER_SEC",
+    "FLASH_READ_LATENCY_NS",
+    "NvmeController",
+    "NvmeDriver",
+    "NvmeQueuePair",
+]

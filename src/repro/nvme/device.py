@@ -1,0 +1,105 @@
+"""NVMe controllers (§5.4).
+
+A :class:`NvmeController` models a PM1725a-class SSD: an internal flash
+pipeline (a bandwidth server) behind one or two PCIe PFs.  Dual-port
+drives — the NVMe spec's multi-PF controllers — can attach one port per
+socket, which is the "octoSSD" the paper leaves to future work; we build
+both the standard single-port path and the octoSSD steering mode.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.memory.region import Region
+from repro.pcie.fabric import PhysicalFunction
+from repro.sim.resources import BandwidthServer
+from repro.units import CACHELINE, KB
+
+#: PM1725a-class sequential read bandwidth.
+FLASH_BYTES_PER_SEC = 6.2e9
+#: Flash read latency (device-internal, per command).
+FLASH_READ_LATENCY_NS = 80_000
+
+
+class NvmeQueuePair:
+    """A submission/completion queue pair plus its data buffers."""
+
+    def __init__(self, qp_id: int, core, machine):
+        self.qp_id = qp_id
+        self.core = core
+        self.ring = machine.alloc_region(
+            f"nvme-qp{qp_id}-ring", core.node_id, 1024 * CACHELINE)
+        self.data = machine.alloc_region(
+            f"nvme-qp{qp_id}-data", core.node_id, 8 * 1024 * KB)
+
+    @property
+    def node_id(self) -> int:
+        return self.core.node_id
+
+
+class NvmeController:
+    """One NVMe SSD, possibly dual-port (one PF per socket)."""
+
+    def __init__(self, machine, pfs: List[PhysicalFunction],
+                 name: str = "nvme",
+                 flash_bytes_per_sec: float = FLASH_BYTES_PER_SEC):
+        if not pfs:
+            raise ValueError("an NVMe controller needs at least one PF")
+        self.machine = machine
+        self.pfs = pfs
+        self.name = name
+        self.flash = BandwidthServer(machine.env, flash_bytes_per_sec,
+                                     name=f"{name}.flash")
+        for pf in pfs:
+            pf.device = self
+        self.read_bytes = 0
+        self.write_bytes = 0
+
+    @property
+    def dual_port(self) -> bool:
+        return len(self.pfs) > 1
+
+    def pf_local_to(self, node: int) -> Optional[PhysicalFunction]:
+        for pf in self.pfs:
+            if pf.attach_node == node:
+                return pf
+        return None
+
+    def pick_pf(self, node: int, octo_mode: bool) -> PhysicalFunction:
+        """Standard mode always uses port 0; octoSSD mode uses the port
+        local to the submitting core's node when one exists."""
+        if octo_mode:
+            local = self.pf_local_to(node)
+            if local is not None:
+                return local
+        return self.pfs[0]
+
+    def read(self, qp: NvmeQueuePair, nbytes: int,
+             octo_mode: bool = False) -> int:
+        """One read command: fetch from flash, DMA into the QP's buffers,
+        write a completion.  Returns the device-side delay in ns."""
+        if nbytes <= 0:
+            raise ValueError(f"read size must be > 0, got {nbytes}")
+        pf = self.pick_pf(qp.node_id, octo_mode)
+        flash_delay = FLASH_READ_LATENCY_NS + self.flash.account(nbytes)
+        dma_delay = pf.dma_write(qp.data, nbytes)
+        dma_delay = max(dma_delay, pf.dma_write(qp.ring, CACHELINE))
+        self.read_bytes += nbytes
+        return max(flash_delay, dma_delay)
+
+    def write(self, qp: NvmeQueuePair, nbytes: int,
+              octo_mode: bool = False) -> int:
+        """One write command: DMA from host buffers into flash."""
+        if nbytes <= 0:
+            raise ValueError(f"write size must be > 0, got {nbytes}")
+        pf = self.pick_pf(qp.node_id, octo_mode)
+        flash_delay = self.flash.account(nbytes)
+        dma_delay = pf.dma_read(qp.data, nbytes)
+        dma_delay = max(dma_delay, pf.dma_write(qp.ring, CACHELINE))
+        self.write_bytes += nbytes
+        return max(flash_delay, dma_delay)
+
+    def __repr__(self) -> str:
+        return (f"<NvmeController {self.name} ports={len(self.pfs)} "
+                f"nodes={[pf.attach_node for pf in self.pfs]}>")

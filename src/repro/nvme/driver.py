@@ -1,0 +1,60 @@
+"""NVMe block driver: per-core queue pairs and the submission path."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.nvme.device import NvmeController, NvmeQueuePair
+from repro.topology.machine import Core, Machine
+from repro.units import CACHELINE
+
+
+class NvmeDriver:
+    """Host-side NVMe driver for one controller.
+
+    ``octo_mode=True`` applies the IOctopus principle to storage: commands
+    are issued through (and data DMAed via) the port local to the
+    submitting core's socket — the octoSSD of §5.4.
+    """
+
+    def __init__(self, machine: Machine, controller: NvmeController,
+                 octo_mode: bool = False):
+        if octo_mode and not controller.dual_port:
+            raise ValueError("octo_mode needs a dual-port controller")
+        self.machine = machine
+        self.controller = controller
+        self.octo_mode = octo_mode
+        self._qps: Dict[int, NvmeQueuePair] = {}
+        self._next_qp = 0
+
+    def qp_for_core(self, core: Core) -> NvmeQueuePair:
+        qp = self._qps.get(core.core_id)
+        if qp is None:
+            qp = NvmeQueuePair(self._next_qp, core, self.machine)
+            self._next_qp += 1
+            self._qps[core.core_id] = qp
+        return qp
+
+    def submit_read(self, core: Core, nbytes: int) -> tuple:
+        """Issue one read; returns (cpu_ns, dev_ns)."""
+        qp = self.qp_for_core(core)
+        node = core.node_id
+        memory = self.machine.memory
+        pf = self.controller.pick_pf(node, self.octo_mode)
+        cpu = self.machine.spec.software.fio_request_ns
+        cpu += pf.mmio_latency(node)                      # SQ doorbell
+        dev = self.controller.read(qp, nbytes, self.octo_mode)
+        cpu += memory.read_fresh_dma_line(node, qp.ring)  # CQ entry
+        return cpu, dev
+
+    def submit_write(self, core: Core, nbytes: int) -> tuple:
+        """Issue one write; returns (cpu_ns, dev_ns)."""
+        qp = self.qp_for_core(core)
+        node = core.node_id
+        memory = self.machine.memory
+        pf = self.controller.pick_pf(node, self.octo_mode)
+        cpu = self.machine.spec.software.fio_request_ns
+        cpu += pf.mmio_latency(node)
+        dev = self.controller.write(qp, nbytes, self.octo_mode)
+        cpu += memory.read_fresh_dma_line(node, qp.ring)
+        return cpu, dev

@@ -1,0 +1,125 @@
+"""NUMA-aware page allocation policies.
+
+Production kernels satisfy allocations from the node of the requesting
+core by default (§2.1) and offer explicit policies on top.  The network
+stack's locality guarantees (§2.3) — rings, packet buffers and skbs on
+the queue's node — ride on exactly this allocator, so we model the
+policies the experiments depend on plus the ones a NUDMA study wants to
+vary: ``local`` (first-touch), ``node`` (explicit bind), ``interleave``
+(round-robin pages across nodes, the classic bandwidth-vs-latency
+trade), and ``preferred`` (local with fallback when the node is full).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.memory.region import Region
+from repro.topology.machine import Machine
+from repro.units import KB
+
+PAGE = 4 * KB
+
+POLICIES = ("local", "node", "interleave", "preferred")
+
+
+class OutOfMemoryError(Exception):
+    """No node can satisfy the allocation under the given policy."""
+
+
+class NumaAllocator:
+    """Tracks per-node memory and places regions by policy."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.capacity = {node.node_id: machine.spec.memory.capacity_bytes
+                         for node in machine.nodes}
+        self.allocated: Dict[int, int] = {n: 0 for n in self.capacity}
+        self._interleave_next = 0
+        self.regions: List[Region] = []
+
+    # ------------------------------------------------------------ queries
+
+    def free_bytes(self, node: int) -> int:
+        return self.capacity[node] - self.allocated[node]
+
+    def node_pressure(self, node: int) -> float:
+        """Fraction of the node's memory in use."""
+        return self.allocated[node] / self.capacity[node]
+
+    # --------------------------------------------------------- allocation
+
+    def alloc(self, name: str, size: int, policy: str = "local",
+              cpu_node: int = 0, target_node: Optional[int] = None,
+              non_temporal: bool = False) -> Region:
+        """Allocate a region under ``policy``.
+
+        ``interleave`` returns a region homed on the node holding the
+        majority of its pages (our regions are single-homed); interleaved
+        buffers of >= 2 pages alternate their majority node so a set of
+        them spreads evenly — the same aggregate behaviour as true
+        page-interleaving at our modelling granularity.
+        """
+        if size <= 0:
+            raise ValueError(f"allocation size must be > 0, got {size}")
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, "
+                             f"got {policy!r}")
+        node = self._choose_node(size, policy, cpu_node, target_node)
+        rounded = -(-size // PAGE) * PAGE
+        if self.free_bytes(node) < rounded:
+            raise OutOfMemoryError(
+                f"node {node} has {self.free_bytes(node)} B free, "
+                f"need {rounded} B ({name!r}, policy {policy})")
+        self.allocated[node] += rounded
+        region = self.machine.alloc_region(name, node, size,
+                                           non_temporal=non_temporal)
+        region.allocator = self
+        region.allocated_bytes = rounded
+        self.regions.append(region)
+        return region
+
+    def free(self, region: Region) -> None:
+        if region not in self.regions:
+            raise ValueError(f"{region!r} was not allocated here")
+        self.regions.remove(region)
+        self.allocated[region.home_node] -= region.allocated_bytes
+
+    def migrate(self, region: Region, new_node: int) -> Region:
+        """Page migration (§2.1: kernels move remote pages local).
+
+        Returns a replacement region homed on ``new_node``; the caller is
+        responsible for the copy cost (``MemorySystem.cpu_copy``).
+        """
+        if new_node == region.home_node:
+            return region
+        rounded = region.allocated_bytes
+        if self.free_bytes(new_node) < rounded:
+            raise OutOfMemoryError(
+                f"cannot migrate {region.name!r}: node {new_node} full")
+        self.free(region)
+        return self.alloc(region.name, region.size, policy="node",
+                          target_node=new_node,
+                          non_temporal=region.non_temporal)
+
+    # ----------------------------------------------------------- internal
+
+    def _choose_node(self, size: int, policy: str, cpu_node: int,
+                     target_node: Optional[int]) -> int:
+        if policy == "node":
+            if target_node is None:
+                raise ValueError("policy 'node' requires target_node")
+            return target_node
+        if policy == "local":
+            return cpu_node
+        if policy == "interleave":
+            node = self._interleave_next
+            self._interleave_next = (node + 1) % len(self.capacity)
+            return node
+        # preferred: local unless it cannot hold the allocation.
+        rounded = -(-size // PAGE) * PAGE
+        if self.free_bytes(cpu_node) >= rounded:
+            return cpu_node
+        candidates = sorted(self.capacity,
+                            key=lambda n: -self.free_bytes(n))
+        return candidates[0]

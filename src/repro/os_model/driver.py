@@ -1,0 +1,107 @@
+"""Netdevice drivers.
+
+:class:`NetDriver` is the interface the network stack talks to.  The
+:class:`StandardDriver` is the stock vendor driver: it binds **one PF** to
+one netdev, so every queue it owns DMAs through that PF wherever the
+consuming thread runs — this is what makes the `remote` configuration
+remote.  The octoNIC team driver lives in :mod:`repro.core.teaming`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.nic.device import NicDevice
+from repro.nic.packet import Flow
+from repro.nic.rings import QueueSet, RxQueue, TxQueue
+from repro.topology.machine import Core, Machine
+
+
+class NetDriver:
+    """Interface between the network stack and a NIC."""
+
+    name = "base"
+
+    def __init__(self, machine: Machine, device: NicDevice):
+        self.machine = machine
+        self.device = device
+        self.env = machine.env
+        self.queues: Optional[QueueSet] = None
+        #: Count of steering updates applied (exposed for tests/metrics).
+        self.steering_updates = 0
+
+    # -------------------------------------------------------------- API
+
+    def dst_mac(self) -> str:
+        """The MAC remote peers address this netdev by."""
+        raise NotImplementedError
+
+    def rx_queue_for_core(self, core: Core) -> RxQueue:
+        queue = self.queues.rx_for_core(core)
+        if queue is None:
+            raise LookupError(f"no Rx queue for core {core.core_id}")
+        return queue
+
+    def tx_queue_for_core(self, core: Core) -> TxQueue:
+        queue = self.queues.tx_for_core(core)
+        if queue is None:
+            raise LookupError(f"no Tx queue for core {core.core_id}")
+        return queue
+
+    def steer_rx(self, flow: Flow, core: Core, immediate: bool = False):
+        """Point ``flow`` at the queue serving ``core``.
+
+        Immediate on socket creation; on migration it is deferred until
+        the old queue drains (avoiding out-of-order delivery) and applied
+        by an asynchronous kernel worker (§4.2).
+        """
+        raise NotImplementedError
+
+    # --------------------------------------------------------- internals
+
+    def _drain_delay_ns(self, old_queue: RxQueue) -> int:
+        """Time until the old queue empties plus the worker's update cost."""
+        per_pkt = self.machine.spec.software.rx_pkt_ns
+        return (self.machine.spec.software.steering_update_ns
+                + old_queue.outstanding * per_pkt)
+
+    def _apply_after(self, delay_ns: int, apply_fn) -> None:
+        def worker():
+            yield self.env.timeout(delay_ns)
+            apply_fn()
+            self.steering_updates += 1
+        self.env.process(worker(), name=f"{self.name}-steer-worker")
+
+
+class StandardDriver(NetDriver):
+    """Stock vendor driver: one netdev per PF (Fig 5a/5b)."""
+
+    name = "standard"
+
+    def __init__(self, machine: Machine, device: NicDevice, pf_id: int):
+        super().__init__(machine, device)
+        if not 0 <= pf_id < len(device.pfs):
+            raise ValueError(f"pf_id {pf_id} out of range")
+        self.pf_id = pf_id
+        pf = device.pf(pf_id)
+        self.queues = QueueSet(machine, machine.cores,
+                               pf_for_core=lambda core: pf)
+        device.firmware.register_default_queues(pf_id, self.queues.rx)
+
+    def dst_mac(self) -> str:
+        return self.device.mac_for_pf(self.pf_id)
+
+    def steer_rx(self, flow: Flow, core: Core,
+                 immediate: bool = False) -> None:
+        new_queue = self.rx_queue_for_core(core)
+        old_queue = self.device.firmware.arfs[self.pf_id].lookup(flow)
+
+        def apply():
+            self.device.firmware.arfs_update(self.pf_id, flow, new_queue,
+                                             now=self.env.now)
+
+        if immediate or old_queue is None:
+            apply()
+            self.steering_updates += 1
+        else:
+            self._apply_after(self._drain_delay_ns(old_queue), apply)

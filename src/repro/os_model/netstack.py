@@ -1,0 +1,247 @@
+"""The network stack: sockets, XPS, ARFS callbacks, and the data paths.
+
+The stack mirrors the Linux mechanisms the paper builds on (§2.3):
+
+* **XPS** — each socket transmits through the Tx queue of the core its
+  owner currently runs on; after a migration the socket is re-pointed as
+  soon as the old queue signals ``ooo_okay``.
+* **ARFS** — on migration, the stack invokes the driver's steering
+  callback so arriving packets land on the new core's Rx queue (and, for
+  the octoNIC driver, on the new node's PF).
+
+Two kinds of data-path APIs exist:
+
+* ``*_burst`` — steady-state throughput: returns (cpu_ns, dev_ns) for a
+  batch; callers overlap them (``thread.overlap``) because CPU and device
+  pipeline against each other.
+* ``latency_*`` — a single message's critical path: returns the **sum** of
+  every component (interrupt, wakeup, fills, wire), used by the RR and
+  sockperf experiments where coalescing is disabled (§5.1.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.nic.packet import Flow, packets_for
+from repro.os_model.driver import NetDriver
+from repro.os_model.scheduler import Scheduler
+from repro.os_model.thread import SimThread
+from repro.topology.machine import Machine
+from repro.units import KB, TSO_SEGMENT
+
+#: TCP maximum segment size with a 1500 B MTU.
+MSS = 1448
+#: Packets per interrupt under Linux adaptive coalescing (streaming).
+COALESCE_PKTS = 64
+
+
+def _ring_lag(queue) -> int:
+    """How far (in bytes) the consumer lags the DMA producer under
+    streaming load: half the Rx ring's buffer capacity (deep rings run
+    near-full when the CPU is the bottleneck)."""
+    return queue.buffers.size // 2
+
+
+class Socket:
+    """A connected socket owned by one thread."""
+
+    def __init__(self, stack: "NetworkStack", thread: SimThread,
+                 driver: NetDriver, flow: Flow, app_buffer_bytes: int):
+        self.stack = stack
+        self.owner = thread
+        self.driver = driver
+        self.flow = flow
+        self.dst_mac = driver.dst_mac()
+        self.app_buffer = stack.machine.alloc_region(
+            f"app-{flow.src_port}", thread.core.node_id, app_buffer_bytes)
+        self.tx_queue = driver.tx_queue_for_core(thread.core)
+        self.closed = False
+        self.rx_messages = 0
+        self.tx_messages = 0
+
+    def __repr__(self) -> str:
+        return f"<Socket {self.flow.src_port}->{self.flow.dst_port}>"
+
+
+class NetworkStack:
+    """One machine's network stack."""
+
+    def __init__(self, machine: Machine, scheduler: Scheduler):
+        self.machine = machine
+        self.scheduler = scheduler
+        self.costs = machine.spec.software
+        self.memory = machine.memory
+        self._sockets_by_thread: Dict[SimThread, List[Socket]] = {}
+        scheduler.on_migration(self._on_migration)
+
+    # ------------------------------------------------------------ sockets
+
+    def open_socket(self, thread: SimThread, driver: NetDriver, flow: Flow,
+                    app_buffer_bytes: int = 64 * KB) -> Socket:
+        sock = Socket(self, thread, driver, flow, app_buffer_bytes)
+        driver.steer_rx(flow, thread.core, immediate=True)
+        self._sockets_by_thread.setdefault(thread, []).append(sock)
+        return sock
+
+    def close(self, sock: Socket) -> None:
+        sock.closed = True
+        owned = self._sockets_by_thread.get(sock.owner, [])
+        if sock in owned:
+            owned.remove(sock)
+
+    def _on_migration(self, thread: SimThread, old_core, new_core) -> None:
+        for sock in self._sockets_by_thread.get(thread, []):
+            # Rx: deferred-until-drained ARFS (and IOctoRFS) update.
+            sock.driver.steer_rx(sock.flow, new_core)
+            # Tx: XPS re-points the socket once ooo_okay allows it.
+            if sock.tx_queue.ooo_okay or sock.tx_queue.is_drained():
+                sock.tx_queue = sock.driver.tx_queue_for_core(new_core)
+            # The app buffer stays where it was allocated (first-touch);
+            # only cache residency migrates, which the LLC model handles.
+
+    # ------------------------------------------------- throughput: receive
+
+    def rx_burst(self, sock: Socket, nmessages: int,
+                 message_bytes: int) -> tuple:
+        """Receive ``nmessages`` messages; returns (cpu_ns, dev_ns)."""
+        if nmessages < 1:
+            raise ValueError(f"nmessages must be >= 1, got {nmessages}")
+        thread = sock.owner
+        node = thread.core.node_id
+        pkts_per_msg = packets_for(message_bytes, MSS)
+        npackets = nmessages * pkts_per_msg
+        payload = max(1, min(message_bytes, MSS))
+
+        # Under streaming load the ring runs deep: the batch the CPU
+        # processes now was DMA-written a full burst earlier, so its cache
+        # state is whatever survived the interleaving traffic.  We charge
+        # the CPU costs against the queue's *pre-delivery* state, then
+        # deliver the next batch — which is what lets many queues' working
+        # sets thrash the LLC in the multi-core experiment (§5.1.1) while
+        # a single queue stays DDIO-hot.
+        queue = sock.driver.rx_queue_for_core(thread.core)
+        total_bytes = npackets * payload
+        interrupts = queue.moderation.interrupts_for(npackets,
+                                                     self.machine.now)
+        cpu = interrupts * self.costs.irq_ns
+        cpu += npackets * self.costs.rx_pkt_ns
+        cpu += nmessages * self.costs.syscall_ns
+        # Completion-descriptor reads: hit (DDIO) or ~80 ns miss each.
+        cpu += npackets * self.memory.read_fresh_dma_line(node, queue.ring)
+        # Payload copy to userspace: source freshness decided by DMA path.
+        cpu += int(total_bytes * self.costs.copy_ns_per_byte)
+        cpu += self.memory.cpu_read_fresh_dma(node, queue.buffers,
+                                              total_bytes,
+                                              inflight_bytes=_ring_lag(queue))
+        cpu += self.memory.cpu_stream_write(node, sock.app_buffer,
+                                            total_bytes)
+
+        delivered, dev_ns = sock.driver.device.rx_deliver(
+            sock.flow, sock.dst_mac, npackets, payload)
+        delivered.outstanding = max(0, delivered.outstanding - npackets)
+        sock.rx_messages += nmessages
+        return cpu, dev_ns
+
+    # ------------------------------------------------ throughput: transmit
+
+    def tx_burst(self, sock: Socket, nmessages: int, message_bytes: int,
+                 tso: bool = True) -> tuple:
+        """Transmit ``nmessages`` messages; returns (cpu_ns, dev_ns)."""
+        if nmessages < 1:
+            raise ValueError(f"nmessages must be >= 1, got {nmessages}")
+        thread = sock.owner
+        node = thread.core.node_id
+        txq = sock.tx_queue
+        pkts_per_msg = packets_for(message_bytes, MSS)
+        npackets = nmessages * pkts_per_msg
+        payload = max(1, min(message_bytes, MSS))
+        total_bytes = npackets * payload
+        if tso:
+            ndesc = nmessages * max(1, -(-message_bytes // TSO_SEGMENT))
+            stack_cost = ndesc * self.costs.tx_segment_ns
+        else:
+            ndesc = npackets
+            stack_cost = npackets * self.costs.tx_pkt_ns
+
+        cpu = nmessages * self.costs.syscall_ns + stack_cost
+        # Copy userspace -> kernel skbs.
+        cpu += int(total_bytes * self.costs.copy_ns_per_byte)
+        cpu += self.memory.cpu_stream_read(node, sock.app_buffer,
+                                           total_bytes)
+        cpu += self.memory.cpu_stream_write(node, txq.skbs, total_bytes)
+        # Doorbell (crosses the interconnect if the PF is remote).
+        cpu += txq.pf.mmio_latency(node)
+
+        dev_ns = sock.driver.device.tx(txq, txq.skbs, npackets, payload,
+                                       ndesc=ndesc)
+        # Completion reads (the pktgen-style ~80 ns-per-miss path).
+        cpu += ndesc * self.memory.read_fresh_dma_line(node, txq.ring)
+        # Interrupt per completion batch.
+        cpu += (txq.moderation.interrupts_for(ndesc, self.machine.now)
+                * self.costs.irq_ns)
+        # Incoming TCP ACKs (~1 per 2 MSS, GRO-coalesced ~8:1).  They are
+        # DMA-written like any Rx traffic, so their descriptor reads miss
+        # when the serving PF is remote.
+        nacks = npackets // 16
+        if nacks:
+            rxq = sock.driver.rx_queue_for_core(thread.core)
+            dev_ack = rxq.pf.dma_write(rxq.ring, nacks * 64)
+            cpu += nacks * (self.costs.rx_pkt_ns // 2)
+            cpu += nacks * self.memory.read_fresh_dma_line(node, rxq.ring)
+            dev_ns = max(dev_ns, dev_ack)
+        sock.tx_messages += nmessages
+        return cpu, dev_ns
+
+    # ------------------------------------------------------ latency paths
+
+    def latency_rx(self, sock: Socket, message_bytes: int,
+                   charge_wire: bool = True) -> int:
+        """Critical-path ns from wire arrival to the app holding the data
+        (coalescing disabled: one interrupt + one wakeup per message).
+
+        Pass ``charge_wire=False`` when the sender's ``latency_tx`` already
+        charged the wire for this message (request/response loops)."""
+        thread = sock.owner
+        node = thread.core.node_id
+        pkts = packets_for(message_bytes, MSS)
+        payload = max(1, min(message_bytes, MSS))
+        queue, dev_ns = sock.driver.device.rx_deliver(
+            sock.flow, sock.dst_mac, pkts, payload, charge_wire=charge_wire)
+        queue.outstanding = max(0, queue.outstanding - pkts)
+        total = pkts * payload
+
+        latency = dev_ns
+        latency += queue.pf.interrupt_latency(node)
+        latency += self.costs.irq_ns + self.costs.wakeup_ns
+        latency += pkts * self.costs.rx_pkt_ns + self.costs.syscall_ns
+        latency += pkts * self.memory.read_fresh_dma_line(node, queue.ring)
+        # The packet head is a latency-bound demand load (header parse
+        # cannot be prefetched); the remainder streams.
+        latency += self.memory.read_fresh_dma_line(node, queue.buffers)
+        latency += int(total * self.costs.copy_ns_per_byte)
+        latency += self.memory.cpu_read_fresh_dma(node, queue.buffers, total)
+        latency += self.memory.cpu_stream_write(node, sock.app_buffer, total)
+        sock.rx_messages += 1
+        return latency
+
+    def latency_tx(self, sock: Socket, message_bytes: int,
+                   udp: bool = False) -> int:
+        """Critical-path ns from send() to the last byte on the wire."""
+        thread = sock.owner
+        node = thread.core.node_id
+        txq = sock.tx_queue
+        pkts = packets_for(message_bytes, MSS)
+        payload = max(1, min(message_bytes, MSS))
+        total = pkts * payload
+        per_pkt = self.costs.udp_pkt_ns if udp else self.costs.tx_pkt_ns
+
+        latency = self.costs.syscall_ns + pkts * per_pkt
+        latency += int(total * self.costs.copy_ns_per_byte)
+        latency += self.memory.cpu_stream_read(node, sock.app_buffer, total)
+        latency += self.memory.cpu_stream_write(node, txq.skbs, total)
+        latency += txq.pf.mmio_latency(node)
+        latency += sock.driver.device.tx(txq, txq.skbs, pkts, payload,
+                                         ndesc=pkts)
+        sock.tx_messages += 1
+        return latency

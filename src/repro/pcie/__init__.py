@@ -1,0 +1,7 @@
+"""PCIe fabric: links, physical functions, bifurcation, switching."""
+
+from repro.pcie.fabric import PcieLink, PhysicalFunction, bifurcate
+from repro.pcie.switch import PcieSwitch, SwitchedFunction
+
+__all__ = ["PcieLink", "PcieSwitch", "PhysicalFunction",
+           "SwitchedFunction", "bifurcate"]

@@ -1,0 +1,124 @@
+"""PCIe fabric: links, physical functions, and bifurcation.
+
+A device occupies one or more **physical functions** (PFs).  Each PF is an
+endpoint attached to exactly one CPU socket's I/O controller — that
+attachment point is what decides whether its DMA is local or remote, i.e.
+the root of the NUDMA problem (§2.2).  Bifurcation (§3.2) splits a device's
+lanes across several PFs so that one device can attach to every socket.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.engine import Environment
+from repro.sim.resources import BandwidthServer
+from repro.topology.constants import PcieSpec
+from repro.topology.machine import Machine
+
+
+class PcieLink:
+    """One PF's lane bundle: independent upstream/downstream byte servers."""
+
+    def __init__(self, env: Environment, name: str, spec: PcieSpec,
+                 lanes: int):
+        if lanes < 1:
+            raise ValueError(f"PCIe link needs >= 1 lane, got {lanes}")
+        self.spec = spec
+        self.lanes = lanes
+        rate = lanes * spec.bytes_per_sec_per_lane
+        self.upstream = BandwidthServer(env, rate, name=f"{name}.up")
+        self.downstream = BandwidthServer(env, rate, name=f"{name}.down")
+
+    @property
+    def bytes_per_sec(self) -> float:
+        return self.lanes * self.spec.bytes_per_sec_per_lane
+
+
+class PhysicalFunction:
+    """A PCIe endpoint: the device's presence on one socket."""
+
+    def __init__(self, machine: Machine, pf_id: int, attach_node: int,
+                 lanes: int, name: str = ""):
+        if not 0 <= attach_node < machine.spec.num_nodes:
+            raise ValueError(f"attach_node {attach_node} out of range")
+        self.machine = machine
+        self.pf_id = pf_id
+        self.attach_node = attach_node
+        self.name = name or f"pf{pf_id}"
+        self.link = PcieLink(machine.env, self.name, machine.spec.pcie,
+                             lanes)
+        #: Set by the owning device when registered.
+        self.device: Optional[object] = None
+        #: DMA-engine window state (see MemorySystem._dma_serialization).
+        self.dma_window_free_at = 0
+
+    # ------------------------------------------------------------- DMA
+
+    def dma_write(self, region, nbytes: int) -> int:
+        """Device -> memory write through this PF; returns delay ns."""
+        pcie_delay = self.link.upstream.account(nbytes)
+        mem_delay = self.machine.memory.dma_write(self.attach_node, region,
+                                                  nbytes, engine=self)
+        return max(pcie_delay, mem_delay)
+
+    def dma_read(self, region, nbytes: int) -> int:
+        """Memory -> device read through this PF; returns delay ns."""
+        pcie_delay = self.link.downstream.account(nbytes)
+        mem_delay = self.machine.memory.dma_read(self.attach_node, region,
+                                                 nbytes, engine=self)
+        return max(pcie_delay, mem_delay)
+
+    # ------------------------------------------------------------- MMIO
+
+    def mmio_latency(self, from_node: int) -> int:
+        """Latency of a posted MMIO write (doorbell) from a core.
+
+        Crossing the interconnect to reach a remote PF is one of the
+        nonuniform I/O interactions Fig 1 depicts.
+        """
+        latency = self.machine.spec.pcie.round_trip_ns // 2
+        if from_node != self.attach_node:
+            link = self.machine.interconnect.link(from_node,
+                                                  self.attach_node)
+            link.estimator.update(8)
+            latency += link.loaded_crossing_ns()
+        return latency
+
+    def interrupt_latency(self, to_node: int) -> int:
+        """Latency for an MSI-X message to reach a core on ``to_node``."""
+        latency = self.machine.spec.pcie.round_trip_ns // 2
+        if to_node != self.attach_node:
+            link = self.machine.interconnect.link(self.attach_node,
+                                                  to_node)
+            link.estimator.update(8)
+            latency += link.loaded_crossing_ns()
+        return latency
+
+    def is_local_to(self, node: int) -> bool:
+        return self.attach_node == node
+
+    def __repr__(self) -> str:
+        return (f"<PF {self.name} node={self.attach_node} "
+                f"x{self.link.lanes}>")
+
+
+def bifurcate(machine: Machine, total_lanes: int,
+              attach_nodes: List[int], name: str = "dev") -> (
+                  List[PhysicalFunction]):
+    """Split ``total_lanes`` evenly into one PF per attach node (§3.2).
+
+    A 16-lane card bifurcated across two sockets yields two x8 endpoints —
+    exactly the ConnectX-5 Socket Direct arrangement the prototype uses
+    (§4.1).
+    """
+    if not attach_nodes:
+        raise ValueError("bifurcate needs at least one attach node")
+    if total_lanes % len(attach_nodes) != 0:
+        raise ValueError(
+            f"{total_lanes} lanes do not split evenly across "
+            f"{len(attach_nodes)} endpoints")
+    lanes_each = total_lanes // len(attach_nodes)
+    return [PhysicalFunction(machine, pf_id, node, lanes_each,
+                             name=f"{name}.pf{pf_id}")
+            for pf_id, node in enumerate(attach_nodes)]

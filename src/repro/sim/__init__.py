@@ -1,0 +1,47 @@
+"""Deterministic discrete-event simulation kernel (nanosecond clock)."""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Process,
+    Timeout,
+)
+from repro.sim.errors import (
+    AlreadyTriggeredError,
+    Interrupt,
+    ScheduleInPastError,
+    SimulationError,
+)
+from repro.sim.resources import (
+    BandwidthServer,
+    ProcessorSharingServer,
+    Request,
+    Resource,
+    Store,
+)
+from repro.sim.rng import SimRandom
+from repro.sim.tracing import NULL_TRACER, TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "AlreadyTriggeredError",
+    "BandwidthServer",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "NULL_TRACER",
+    "Process",
+    "ProcessorSharingServer",
+    "Request",
+    "Resource",
+    "ScheduleInPastError",
+    "SimRandom",
+    "SimulationError",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+]

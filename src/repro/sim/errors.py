@@ -1,0 +1,25 @@
+"""Exceptions raised by the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class ScheduleInPastError(SimulationError):
+    """An event was scheduled before the current simulation time."""
+
+
+class AlreadyTriggeredError(SimulationError):
+    """succeed()/fail() was called on an event that already fired."""
+
+
+class Interrupt(SimulationError):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.engine.Process.interrupt`.
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+        self.cause = cause

@@ -1,0 +1,65 @@
+"""Lightweight event tracing.
+
+A :class:`Tracer` collects (time, source, event, payload) tuples.  Tracing
+is off by default and costs one predicate check per emit when disabled, so
+hot paths can trace unconditionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: int
+    source: str
+    event: str
+    payload: Any = None
+
+    def __str__(self) -> str:
+        extra = f" {self.payload}" if self.payload is not None else ""
+        return f"[{self.time:>12} ns] {self.source}: {self.event}{extra}"
+
+
+@dataclass
+class Tracer:
+    """Collects trace records, optionally filtered by source prefix."""
+
+    enabled: bool = False
+    source_prefix: Optional[str] = None
+    records: List[TraceRecord] = field(default_factory=list)
+    sinks: List[Callable[[TraceRecord], None]] = field(default_factory=list)
+
+    def emit(self, time: int, source: str, event: str,
+             payload: Any = None) -> None:
+        if not self.enabled:
+            return
+        if self.source_prefix and not source.startswith(self.source_prefix):
+            return
+        record = TraceRecord(time, source, event, payload)
+        self.records.append(record)
+        for sink in self.sinks:
+            sink(record)
+
+    def by_event(self, event: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.event == event]
+
+    def by_source(self, source: str) -> List[TraceRecord]:
+        return [r for r in self.records if r.source == source]
+
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for record in self.records:
+            tally[record.event] = tally.get(record.event, 0) + 1
+        return tally
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+#: Shared no-op tracer used when a component is built without one.
+NULL_TRACER = Tracer(enabled=False)

@@ -1,0 +1,52 @@
+"""Machine topology: specs, presets and the composed hardware substrate."""
+
+from repro.topology.constants import (
+    CACHELINE,
+    GB,
+    KB,
+    MB,
+    MTU,
+    TSO_SEGMENT,
+    CpuSpec,
+    InterconnectSpec,
+    MachineSpec,
+    MemorySpec,
+    PcieSpec,
+    SoftwareCosts,
+    dell_r730_spec,
+    dell_skylake_spec,
+)
+from repro.topology.machine import Core, Machine, Node
+
+
+def dell_r730(seed: int = 0) -> Machine:
+    """Build the paper's networking testbed server."""
+    return Machine(dell_r730_spec(), seed=seed)
+
+
+def dell_skylake(seed: int = 0) -> Machine:
+    """Build the paper's NVMe testbed server."""
+    return Machine(dell_skylake_spec(), seed=seed)
+
+
+__all__ = [
+    "CACHELINE",
+    "Core",
+    "CpuSpec",
+    "GB",
+    "InterconnectSpec",
+    "KB",
+    "MB",
+    "MTU",
+    "Machine",
+    "MachineSpec",
+    "MemorySpec",
+    "Node",
+    "PcieSpec",
+    "SoftwareCosts",
+    "TSO_SEGMENT",
+    "dell_r730",
+    "dell_r730_spec",
+    "dell_skylake",
+    "dell_skylake_spec",
+]

@@ -1,0 +1,24 @@
+"""Shared size/unit constants (import-cycle-free leaf module)."""
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: x86 cache line size.
+CACHELINE = 64
+
+#: Ethernet MTU used throughout the paper's experiments.
+MTU = 1500
+
+#: TSO aggregates this much data per segment handed to the NIC (§5.1.1).
+TSO_SEGMENT = 64 * KB
+
+
+def gbps(bytes_per_sec: float) -> float:
+    """Convert bytes/sec to gigabits/sec (the paper's throughput unit)."""
+    return bytes_per_sec * 8 / 1e9
+
+
+def bytes_per_sec(gigabits_per_sec: float) -> float:
+    """Convert gigabits/sec to bytes/sec."""
+    return gigabits_per_sec * 1e9 / 8

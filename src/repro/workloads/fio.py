@@ -1,0 +1,62 @@
+"""fio: asynchronous direct reads against NVMe SSDs (§5.4, Fig 15).
+
+8 threads, each continuously keeping 32 asynchronous 128 KB read requests
+outstanding against an SSD remote from their CPU — direct I/O, so every
+byte is DMA-written across the interconnect into the threads' node.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nvme.driver import NvmeDriver
+from repro.units import KB
+from repro.workloads.base import Workload, measured_meter
+
+BLOCK_BYTES = 128 * KB
+IODEPTH = 32
+
+
+class FioReader(Workload):
+    """One fio job: async direct reads at a fixed iodepth."""
+
+    def __init__(self, host, core, driver: NvmeDriver, duration_ns: int,
+                 warmup_ns: int = 0, block_bytes: int = BLOCK_BYTES,
+                 iodepth: int = IODEPTH):
+        super().__init__(host, duration_ns, warmup_ns)
+        self.driver = driver
+        self.block_bytes = block_bytes
+        self.iodepth = iodepth
+        self.meter = measured_meter(self)
+        self.thread = self._spawn("fio", self._body, core)
+
+    def _body(self, thread):
+        # Steady state with iodepth N: the thread always has N requests in
+        # flight; each loop issues one batch of N and waits for the batch,
+        # which keeps the device pipeline full while CPU cost stays per
+        # request.
+        while not self.done():
+            cpu_total, dev_total = 0, 0
+            for _ in range(self.iodepth):
+                cpu, dev = self.driver.submit_read(thread.core,
+                                                   self.block_bytes)
+                cpu_total += cpu
+                dev_total = max(dev_total, dev)
+            if self.in_measurement():
+                self.meter.record(self.iodepth * self.block_bytes,
+                                  self.iodepth)
+            yield thread.overlap(cpu_total, dev_total)
+        self.meter.finish(min(self.env.now, self.duration_ns))
+
+    def throughput_gbps(self) -> float:
+        return self.meter.gbps()
+
+
+def spawn_fio_fleet(host, cores, drivers: List[NvmeDriver],
+                    duration_ns: int, warmup_ns: int = 0) -> List[FioReader]:
+    """The paper's job layout: threads spread round-robin over the SSDs."""
+    if not drivers:
+        raise ValueError("need at least one NVMe driver")
+    return [FioReader(host, core, drivers[i % len(drivers)], duration_ns,
+                      warmup_ns)
+            for i, core in enumerate(cores)]

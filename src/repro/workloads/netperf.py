@@ -1,0 +1,116 @@
+"""netperf: TCP_STREAM (Rx and Tx) and TCP_RR (§5.1).
+
+``TcpStream`` is the single-core throughput benchmark: the process and all
+OS networking activity (interrupts included) run on one core.  ``TcpRr``
+is the request/response latency benchmark with interrupt coalescing
+disabled, run across the testbed's two machines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.metrics.collect import LatencyRecorder
+from repro.nic.packet import Flow
+from repro.units import KB
+from repro.workloads.base import Workload, measured_meter
+
+#: Default burst sizing: batch messages up to this many bytes per loop.
+BURST_BYTES = 64 * KB
+
+
+class TcpStream(Workload):
+    """netperf TCP_STREAM, receive or transmit side on the server."""
+
+    def __init__(self, host, core, flow: Flow, message_bytes: int,
+                 direction: str, duration_ns: int, warmup_ns: int = 0,
+                 driver=None):
+        super().__init__(host, duration_ns, warmup_ns)
+        if direction not in ("rx", "tx"):
+            raise ValueError(f"direction must be 'rx' or 'tx', "
+                             f"got {direction!r}")
+        if message_bytes < 1:
+            raise ValueError(f"message_bytes must be >= 1")
+        self.core = core
+        self.flow = flow
+        self.message_bytes = message_bytes
+        self.direction = direction
+        self.driver = driver or host.driver
+        self.meter = measured_meter(self)
+        self.batch = max(1, BURST_BYTES // message_bytes)
+        self.thread = self._spawn(f"netperf-{direction}", self._body, core)
+
+    def _body(self, thread):
+        sock = self.host.stack.open_socket(
+            thread, self.driver, self.flow,
+            app_buffer_bytes=max(64 * KB, self.message_bytes))
+        burst = (self.host.stack.rx_burst if self.direction == "rx"
+                 else self.host.stack.tx_burst)
+        while not self.done():
+            cpu, dev = burst(sock, self.batch, self.message_bytes)
+            if self.in_measurement():
+                self.meter.record(self.batch * self.message_bytes,
+                                  self.batch)
+            yield thread.overlap(cpu, dev)
+        self.meter.finish(min(self.env.now, self.duration_ns))
+
+    def throughput_gbps(self) -> float:
+        return self.meter.gbps()
+
+
+class TcpRr(Workload):
+    """netperf TCP_RR across the testbed: client <-> server round trips.
+
+    The round-trip time is the sum of the four critical paths (client tx,
+    server rx, server tx, client rx); the wire is charged once per
+    direction.  Coalescing is disabled, as in §5.1.2.
+    """
+
+    def __init__(self, testbed, message_bytes: int, duration_ns: int,
+                 warmup_ns: int = 0):
+        super().__init__(testbed.client, duration_ns, warmup_ns)
+        self.testbed = testbed
+        self.message_bytes = message_bytes
+        self.latencies = LatencyRecorder()
+
+        server = testbed.server
+        flow = Flow.make(1)
+
+        # The server side of the connection is owned by an idle thread
+        # pinned to the server's workload core; the client thread drives
+        # the whole round trip.
+        def server_body(thread):
+            self._server_sock = server.stack.open_socket(
+                thread, server.driver, flow.reversed(),
+                app_buffer_bytes=max(64 * KB, message_bytes))
+            if False:  # a generator that never runs again
+                yield None
+
+        self._server_thread = server.scheduler.spawn(
+            "netperf-rr-server", server_body, core=testbed.server_core(0))
+
+        self.thread = self._spawn("netperf-rr-client", self._client_body,
+                                  testbed.client_core(0))
+
+    def _client_body(self, thread):
+        client = self.testbed.client
+        server = self.testbed.server
+        sock = client.stack.open_socket(
+            thread, client.driver, Flow.make(1),
+            app_buffer_bytes=max(64 * KB, self.message_bytes))
+        msg = self.message_bytes
+        while not self.done():
+            rtt = client.stack.latency_tx(sock, msg)
+            rtt += server.stack.latency_rx(self._server_sock, msg,
+                                           charge_wire=False)
+            rtt += server.stack.latency_tx(self._server_sock, msg)
+            rtt += client.stack.latency_rx(sock, msg, charge_wire=False)
+            if self.in_measurement():
+                self.latencies.record(rtt)
+            yield thread.sleep(rtt)
+
+    def average_rtt_ns(self) -> float:
+        return self.latencies.average()
+
+    def p99_rtt_ns(self) -> int:
+        return self.latencies.percentile(99)

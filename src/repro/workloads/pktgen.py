@@ -1,0 +1,71 @@
+"""pktgen: the in-kernel packet generator (§5.1.1, Fig 8).
+
+pktgen repeatedly transmits the *same* packet without touching its data,
+so the per-packet cost is dominated by descriptor/doorbell work plus the
+completion-entry read — an LLC hit with a local PF (DDIO), a ~80 ns DRAM
+miss with a remote one.  That single miss is the paper's entire 4.1 vs
+3.08 Mpps story, and it emerges here from the memory system.
+"""
+
+from __future__ import annotations
+
+from repro.nic.packet import Flow
+from repro.workloads.base import Workload, measured_meter
+
+#: pktgen posts descriptors in bursts of this many packets.
+BURST_PKTS = 64
+
+
+class Pktgen(Workload):
+    """Single-core pktgen transmit loop."""
+
+    def __init__(self, host, core, packet_bytes: int, duration_ns: int,
+                 warmup_ns: int = 0, driver=None,
+                 ring_home_node: int = None):
+        super().__init__(host, duration_ns, warmup_ns)
+        if packet_bytes < 20:
+            raise ValueError(f"packet too small: {packet_bytes}")
+        self.core = core
+        self.packet_bytes = packet_bytes
+        self.driver = driver or host.driver
+        self.meter = measured_meter(self)
+        self._ring_home_node = ring_home_node
+        self.thread = self._spawn("pktgen", self._body, core)
+
+    def _body(self, thread):
+        machine = self.host.machine
+        costs = machine.spec.software
+        txq = self.driver.tx_queue_for_core(thread.core)
+        if self._ring_home_node is not None:
+            # §2.4 experiment: place the completion ring on a chosen node
+            # (e.g. local to the NIC, remote to the CPU) to probe whether
+            # remote DDIO-like placement helps.
+            txq.ring = machine.alloc_region(
+                "pktgen-ring", self._ring_home_node, txq.ring.size)
+        node = thread.core.node_id
+        device = self.driver.device
+
+        # pktgen transmits the SAME packet over and over: a tiny buffer
+        # that stays pinned in the LLC (and is never touched per send).
+        packet = machine.alloc_region("pktgen-pkt", node,
+                                      self.packet_bytes)
+        machine.memory.cpu_stream_write(node, packet, self.packet_bytes)
+
+        while not self.done():
+            cpu = BURST_PKTS * costs.pktgen_pkt_ns
+            cpu += txq.pf.mmio_latency(node)  # doorbell per burst
+            dev = device.tx(txq, packet, BURST_PKTS, self.packet_bytes,
+                            ndesc=BURST_PKTS)
+            cpu += BURST_PKTS * machine.memory.read_fresh_dma_line(
+                node, txq.ring)
+            if self.in_measurement():
+                self.meter.record(BURST_PKTS * self.packet_bytes,
+                                  BURST_PKTS)
+            yield thread.overlap(cpu, dev)
+        self.meter.finish(min(self.env.now, self.duration_ns))
+
+    def throughput_gbps(self) -> float:
+        return self.meter.gbps()
+
+    def mpps(self) -> float:
+        return self.meter.mpps()

@@ -1,0 +1,47 @@
+"""The examples must keep running — they are the public face of the API."""
+
+import runpy
+import sys
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def short_durations(monkeypatch):
+    """Shrink the examples' simulated durations so the suite stays fast."""
+    yield
+
+
+def _run_example(name, patches, capsys):
+    module = runpy.run_path(f"examples/{name}.py", run_name="not-main")
+    for attr, value in patches.items():
+        module[attr] = value
+    module["main"]()
+    return capsys.readouterr().out
+
+
+def test_quickstart_reports_all_configs(capsys, monkeypatch):
+    import examples  # noqa: F401  (ensure path exists)
+
+
+def test_quickstart_output(capsys):
+    out = _run_example("quickstart", {"DURATION_NS": 8_000_000}, capsys)
+    for config in ("local", "remote", "ioctopus"):
+        assert config in out
+    assert "NUDMA cost" in out
+
+
+def test_thread_migration_output(capsys):
+    out = _run_example(
+        "thread_migration",
+        {"DURATION_NS": 120_000_000, "MIGRATE_AT_NS": 60_000_000,
+         "SAMPLE_NS": 30_000_000}, capsys)
+    assert "octoNIC" in out and "ethNIC" in out
+    assert "sched_setaffinity" in out
+
+
+def test_nvme_example_output(capsys):
+    out = _run_example("nvme_nudma", {"DURATION_NS": 30_000_000,
+                                      "WARMUP_NS": 6_000_000}, capsys)
+    assert "octoSSD" in out
+    assert "100%" in out

@@ -1,0 +1,100 @@
+"""Tests for the octoNIC team driver (IOctopus mode)."""
+
+import pytest
+
+from repro.core import Testbed
+from repro.core.teaming import OctoTeamDriver
+from repro.nic.device import NicDevice
+from repro.nic.firmware import OctoFirmware, StandardFirmware
+from repro.nic.packet import Flow
+from repro.pcie.fabric import bifurcate
+from repro.topology import dell_r730
+
+
+def test_team_driver_requires_octo_firmware():
+    machine = dell_r730()
+    pfs = bifurcate(machine, 16, [0, 1])
+    device = NicDevice(machine, pfs, StandardFirmware(2))
+    with pytest.raises(TypeError):
+        OctoTeamDriver(machine, device)
+
+
+def test_team_driver_requires_pf_on_every_node():
+    machine = dell_r730()
+    pfs = bifurcate(machine, 16, [0])
+    device = NicDevice(machine, pfs, OctoFirmware(1))
+    with pytest.raises(ValueError):
+        OctoTeamDriver(machine, device)
+
+
+def test_queues_bound_to_local_pf():
+    testbed = Testbed("ioctopus")
+    driver = testbed.server.driver
+    machine = testbed.server.machine
+    for core in machine.cores:
+        rxq = driver.rx_queue_for_core(core)
+        txq = driver.tx_queue_for_core(core)
+        assert rxq.pf.attach_node == core.node_id
+        assert txq.pf.attach_node == core.node_id
+
+
+def test_single_netdev_single_mac():
+    testbed = Testbed("ioctopus")
+    assert testbed.server.driver.dst_mac() == OctoFirmware.MAC
+
+
+def test_steer_rx_immediate_updates_both_tables():
+    testbed = Testbed("ioctopus")
+    driver = testbed.server.driver
+    firmware = testbed.server.nic.firmware
+    core = testbed.server.machine.cores_on_node(1)[2]
+    flow = Flow.make(0)
+    driver.steer_rx(flow, core, immediate=True)
+    assert firmware.mpfs.steer(flow, OctoFirmware.MAC) == 1
+    assert firmware.arfs[1].lookup(flow).core is core
+
+
+def test_steer_rx_migration_is_deferred_until_drained():
+    testbed = Testbed("ioctopus")
+    driver = testbed.server.driver
+    firmware = testbed.server.nic.firmware
+    env = testbed.env
+    flow = Flow.make(0)
+    old_core = testbed.server.machine.cores_on_node(0)[0]
+    new_core = testbed.server.machine.cores_on_node(1)[0]
+    driver.steer_rx(flow, old_core, immediate=True)
+    # Simulate outstanding packets on the old queue.
+    old_queue = driver.rx_queue_for_core(old_core)
+    old_queue.outstanding = 100
+    driver.steer_rx(flow, new_core)
+    # Not yet applied.
+    assert firmware.mpfs.steer(flow, OctoFirmware.MAC) == 0
+    env.run(until=env.now + 10_000_000)
+    assert firmware.mpfs.steer(flow, OctoFirmware.MAC) == 1
+
+
+def test_steering_update_counter():
+    testbed = Testbed("ioctopus")
+    driver = testbed.server.driver
+    before = driver.steering_updates
+    driver.steer_rx(Flow.make(0), testbed.server_core(0), immediate=True)
+    assert driver.steering_updates == before + 1
+
+
+def test_expiry_worker_deletes_idle_rules():
+    testbed = Testbed("ioctopus")
+    driver = testbed.server.driver
+    firmware = testbed.server.nic.firmware
+    driver.steer_rx(Flow.make(0), testbed.server_core(0), immediate=True)
+    assert firmware.mpfs.flow_rule_count() == 1
+    driver.start_expiry_worker(period_ns=50_000_000, idle_ns=100_000_000)
+    testbed.run(400_000_000)
+    assert firmware.mpfs.flow_rule_count() == 0
+
+
+def test_expiry_worker_cannot_start_twice():
+    testbed = Testbed("ioctopus")
+    driver = testbed.server.driver
+    driver.start_expiry_worker()
+    with pytest.raises(RuntimeError):
+        driver.start_expiry_worker()

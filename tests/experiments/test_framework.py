@@ -1,0 +1,91 @@
+"""Tests for the experiment framework, registry and CLI plumbing."""
+
+import pytest
+
+from repro.experiments import all_experiment_names, get_experiment
+from repro.experiments.base import (
+    DURATIONS_MS,
+    Experiment,
+    ExperimentResult,
+    register,
+)
+from repro.experiments.cli import build_parser, main
+
+
+def test_result_add_checks_arity():
+    result = ExperimentResult("x", "ref", ["a", "b"])
+    result.add(1, 2)
+    with pytest.raises(ValueError):
+        result.add(1)
+
+
+def test_result_column_and_dicts():
+    result = ExperimentResult("x", "ref", ["a", "b"])
+    result.add(1, 2)
+    result.add(3, 4)
+    assert result.column("b") == [2, 4]
+    assert result.as_dicts() == [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+    with pytest.raises(KeyError):
+        result.column("missing")
+
+
+def test_result_table_contains_title_and_notes():
+    result = ExperimentResult("demo", "Fig X", ["v"], notes="hello")
+    result.add(42)
+    text = result.table()
+    assert "demo (Fig X)" in text
+    assert "42" in text
+    assert "hello" in text
+
+
+def test_experiment_duration_fidelities():
+    experiment = Experiment()
+    for fidelity, ms in DURATIONS_MS.items():
+        assert experiment.duration_ns(fidelity) == ms * 1_000_000
+    with pytest.raises(ValueError):
+        experiment.duration_ns("extreme")
+
+
+def test_base_experiment_run_is_abstract():
+    with pytest.raises(NotImplementedError):
+        Experiment().run()
+
+
+def test_register_rejects_duplicates():
+    with pytest.raises(ValueError):
+        @register
+        class Duplicate(Experiment):
+            name = "fig02"  # already registered
+
+
+def test_registry_instances_are_fresh():
+    assert get_experiment("fig02") is not get_experiment("fig02")
+
+
+def test_cli_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in all_experiment_names():
+        assert name in out
+
+
+def test_cli_runs_named_experiment(capsys):
+    assert main(["fig02"]) == 0
+    assert "nic_single_gbps" in capsys.readouterr().out
+
+
+def test_cli_requires_some_action(capsys):
+    assert main([]) == 2
+
+
+def test_cli_unknown_experiment():
+    with pytest.raises(KeyError):
+        main(["fig99"])
+
+
+def test_cli_parser_fidelity_choices():
+    parser = build_parser()
+    args = parser.parse_args(["fig02", "--fidelity", "quick"])
+    assert args.fidelity == "quick"
+    with pytest.raises(SystemExit):
+        parser.parse_args(["--fidelity", "warp"])

@@ -1,0 +1,73 @@
+"""Tests for QPI/UPI interconnect links."""
+
+import pytest
+
+from repro.interconnect import Interconnect
+from repro.sim import Environment
+
+
+@pytest.fixture
+def qpi():
+    return Interconnect(Environment(), num_nodes=2,
+                        bytes_per_sec_per_direction=28e9,
+                        crossing_latency_ns=30)
+
+
+def test_same_node_traverse_is_free(qpi):
+    assert qpi.traverse(0, 0, 10_000) == 0
+
+
+def test_crossing_includes_latency_and_service(qpi):
+    delay = qpi.traverse(0, 1, 2800)
+    # 30 ns crossing + 2800 B / 28 GB/s = 100 ns
+    assert delay == 30 + 100
+
+
+def test_directions_are_independent(qpi):
+    qpi.traverse(0, 1, 28_000_000)  # load 0->1 heavily
+    # 1->0 unaffected
+    assert qpi.traverse(1, 0, 2800) == 130
+
+
+def test_backlog_accumulates(qpi):
+    first = qpi.traverse(0, 1, 28_000)
+    second = qpi.traverse(0, 1, 28_000)
+    assert second > first
+
+
+def test_round_trip_charges_both_directions(qpi):
+    delay = qpi.round_trip(0, 1, 64, 2800)
+    fwd = qpi.link(0, 1).server.bytes_total
+    back = qpi.link(1, 0).server.bytes_total
+    assert (fwd, back) == (64, 2800)
+    assert delay >= 60  # two crossings
+
+
+def test_round_trip_same_node_free(qpi):
+    assert qpi.round_trip(1, 1, 64, 2800) == 0
+
+
+def test_missing_link_raises(qpi):
+    with pytest.raises(KeyError):
+        qpi.link(0, 0)
+    with pytest.raises(KeyError):
+        qpi.link(0, 5)
+
+
+def test_probe_delay_does_not_charge(qpi):
+    before = qpi.link(0, 1).server.bytes_total
+    qpi.link(0, 1).probe_delay(64)
+    assert qpi.link(0, 1).server.bytes_total == before
+
+
+def test_num_links_for_n_nodes():
+    ic = Interconnect(Environment(), num_nodes=4,
+                      bytes_per_sec_per_direction=1e9,
+                      crossing_latency_ns=10)
+    assert len(ic.links()) == 12  # 4*3 directed pairs
+
+
+def test_invalid_node_count():
+    with pytest.raises(ValueError):
+        Interconnect(Environment(), num_nodes=0,
+                     bytes_per_sec_per_direction=1e9, crossing_latency_ns=1)

@@ -1,0 +1,87 @@
+"""Tests for metrics collection."""
+
+import pytest
+
+from repro.metrics import (
+    LatencyRecorder,
+    ThroughputMeter,
+    TimeSeries,
+    format_table,
+)
+
+
+def test_throughput_meter_gbps():
+    meter = ThroughputMeter(start_ns=0)
+    meter.record(125_000, 10)  # 125 KB
+    meter.finish(1_000_000)    # in 1 ms => 1 Gb/s
+    assert meter.gbps() == pytest.approx(1.0)
+    assert meter.mpps() == pytest.approx(0.01)
+    assert meter.ktps() == pytest.approx(10.0)
+
+
+def test_throughput_meter_requires_finish():
+    meter = ThroughputMeter()
+    meter.record(100)
+    with pytest.raises(ValueError):
+        meter.gbps()
+
+
+def test_throughput_meter_warmup_offset():
+    meter = ThroughputMeter(start_ns=500_000)
+    meter.record(125_000)
+    meter.finish(1_500_000)
+    assert meter.gbps() == pytest.approx(1.0)
+
+
+def test_latency_recorder_stats():
+    recorder = LatencyRecorder()
+    for value in (100, 300, 200, 400, 500):
+        recorder.record(value)
+    assert recorder.average() == 300
+    assert recorder.min() == 100
+    assert recorder.max() == 500
+    assert recorder.percentile(50) == 300
+    assert recorder.percentile(99) == 500
+    assert recorder.percentile(0) == 100
+    assert len(recorder) == 5
+
+
+def test_latency_recorder_validation():
+    recorder = LatencyRecorder()
+    with pytest.raises(ValueError):
+        recorder.record(-1)
+    with pytest.raises(ValueError):
+        recorder.average()
+    recorder.record(10)
+    with pytest.raises(ValueError):
+        recorder.percentile(101)
+
+
+def test_timeseries_samples_and_lookup():
+    series = TimeSeries("pf0")
+    series.sample(100, 1.0)
+    series.sample(200, 2.0)
+    series.sample(300, 3.0)
+    assert len(series) == 3
+    assert series.value_at(250) == 2.0
+    assert series.value_at(300) == 3.0
+    with pytest.raises(ValueError):
+        series.value_at(50)
+
+
+def test_timeseries_mean_over_window():
+    series = TimeSeries("x")
+    for t, v in ((0, 1.0), (100, 2.0), (200, 3.0), (300, 4.0)):
+        series.sample(t, v)
+    assert series.mean(t_from=100, t_to=200) == pytest.approx(2.5)
+    with pytest.raises(ValueError):
+        series.mean(t_from=1000)
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [("a", 1.5), ("bb", 2.25)],
+                        title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1]
+    assert "1.50" in text and "2.25" in text

@@ -1,0 +1,54 @@
+"""Tests for NIC queues and queue sets."""
+
+from repro.nic.rings import RING_ENTRIES, QueueSet, RxQueue, TxQueue
+from repro.pcie.fabric import bifurcate
+from repro.topology import dell_r730
+from repro.units import CACHELINE
+
+
+def test_queue_regions_sized_and_placed():
+    machine = dell_r730()
+    core = machine.cores_on_node(1)[3]
+    rxq = RxQueue(7, core, machine)
+    assert rxq.ring.size == RING_ENTRIES * CACHELINE
+    assert rxq.ring.home_node == 1
+    assert rxq.buffers.home_node == 1
+    txq = TxQueue(8, core, machine)
+    assert txq.skbs.home_node == 1
+
+
+def test_queue_accounting():
+    machine = dell_r730()
+    queue = RxQueue(0, machine.core(0), machine)
+    queue.account(10, 15000)
+    queue.account(5, 7500)
+    assert queue.packets_total == 15
+    assert queue.bytes_total == 22500
+
+
+def test_queueset_binds_pf_per_core():
+    machine = dell_r730()
+    pf0, pf1 = bifurcate(machine, 16, [0, 1])
+    queues = QueueSet(machine, machine.cores,
+                      pf_for_core=lambda c: pf0 if c.node_id == 0 else pf1)
+    assert len(queues.rx) == len(machine.cores)
+    for queue in queues.rx + queues.tx:
+        expected = pf0 if queue.core.node_id == 0 else pf1
+        assert queue.pf is expected
+
+
+def test_queueset_lookup_by_core():
+    machine = dell_r730()
+    queues = QueueSet(machine, machine.cores[:4])
+    core = machine.core(2)
+    assert queues.rx_for_core(core).core is core
+    assert queues.tx_for_core(core).core is core
+    assert queues.rx_for_core(machine.core(20)) is None
+    assert queues.tx_for_core(machine.core(20)) is None
+
+
+def test_fresh_queue_has_enabled_moderation():
+    machine = dell_r730()
+    queue = RxQueue(0, machine.core(0), machine)
+    assert queue.moderation.enabled
+    assert queue.is_drained()

@@ -1,0 +1,151 @@
+"""Tests for RSS, ARFS tables and the MPFS."""
+
+import pytest
+
+from repro.nic.packet import Flow
+from repro.nic.steering import ArfsTable, Mpfs, rss_hash
+
+
+# --------------------------------------------------------------- RSS
+
+def test_rss_hash_in_range_and_stable():
+    for i in range(50):
+        flow = Flow.make(i)
+        bucket = rss_hash(flow, 8)
+        assert 0 <= bucket < 8
+        assert bucket == rss_hash(flow, 8)
+
+
+def test_rss_hash_spreads_flows():
+    buckets = {rss_hash(Flow.make(i), 8) for i in range(100)}
+    assert len(buckets) > 4  # not all in one bucket
+
+
+def test_rss_hash_rejects_zero_buckets():
+    with pytest.raises(ValueError):
+        rss_hash(Flow.make(0), 0)
+
+
+# -------------------------------------------------------------- ARFS
+
+def test_arfs_lookup_after_update():
+    table = ArfsTable()
+    flow = Flow.make(0)
+    table.update(flow, "queue-3", now=10)
+    assert table.lookup(flow, now=11) == "queue-3"
+
+
+def test_arfs_lookup_missing_returns_none():
+    assert ArfsTable().lookup(Flow.make(0)) is None
+
+
+def test_arfs_update_repoints_existing_rule():
+    table = ArfsTable()
+    flow = Flow.make(0)
+    table.update(flow, "queue-1")
+    table.update(flow, "queue-2")
+    assert table.lookup(flow) == "queue-2"
+    assert len(table) == 1
+
+
+def test_arfs_remove():
+    table = ArfsTable()
+    flow = Flow.make(0)
+    table.update(flow, "q")
+    assert table.remove(flow)
+    assert not table.remove(flow)
+    assert table.lookup(flow) is None
+
+
+def test_arfs_expire_idle_rules():
+    table = ArfsTable()
+    old, fresh = Flow.make(0), Flow.make(1)
+    table.update(old, "q0", now=0)
+    table.update(fresh, "q1", now=900)
+    expired = table.expire_idle(now=1000, idle_ns=500)
+    assert expired == [old]
+    assert table.lookup(fresh) is not None
+
+
+def test_arfs_lookup_refreshes_idle_clock():
+    table = ArfsTable()
+    flow = Flow.make(0)
+    table.update(flow, "q", now=0)
+    table.lookup(flow, now=800)
+    assert table.expire_idle(now=1000, idle_ns=500) == []
+
+
+def test_arfs_capacity_evicts_coldest():
+    table = ArfsTable(capacity=2)
+    table.update(Flow.make(0), "q0", now=0)
+    table.update(Flow.make(1), "q1", now=5)
+    table.lookup(Flow.make(0), now=10)  # refresh 0: flow 1 is coldest
+    table.update(Flow.make(2), "q2", now=20)
+    assert table.lookup(Flow.make(1)) is None
+    assert table.lookup(Flow.make(0)) == "q0"
+
+
+def test_arfs_invalid_capacity():
+    with pytest.raises(ValueError):
+        ArfsTable(capacity=0)
+
+
+# -------------------------------------------------------------- MPFS
+
+def test_mpfs_mac_mode_steers_by_mac():
+    mpfs = Mpfs(mode="mac")
+    mpfs.bind_mac("aa:aa", 0)
+    mpfs.bind_mac("bb:bb", 1)
+    flow = Flow.make(0)
+    assert mpfs.steer(flow, "aa:aa") == 0
+    assert mpfs.steer(flow, "bb:bb") == 1
+
+
+def test_mpfs_mac_mode_unknown_mac_default():
+    mpfs = Mpfs(mode="mac", default_pf_id=7)
+    assert mpfs.steer(Flow.make(0), "cc:cc") == 7
+
+
+def test_mpfs_mac_mode_rejects_flow_rules():
+    mpfs = Mpfs(mode="mac")
+    with pytest.raises(ValueError):
+        mpfs.update_flow(Flow.make(0), 1)
+
+
+def test_mpfs_flow_mode_steers_by_tuple():
+    mpfs = Mpfs(mode="flow")
+    flow = Flow.make(0)
+    mpfs.update_flow(flow, 1, now=0)
+    # MAC is irrelevant in IOctoRFS mode.
+    assert mpfs.steer(flow, "whatever") == 1
+
+
+def test_mpfs_flow_mode_unmapped_flow_default():
+    mpfs = Mpfs(mode="flow", default_pf_id=0)
+    assert mpfs.steer(Flow.make(9), "x") == 0
+
+
+def test_mpfs_flow_rule_repoint_and_remove():
+    mpfs = Mpfs(mode="flow")
+    flow = Flow.make(0)
+    mpfs.update_flow(flow, 0)
+    mpfs.update_flow(flow, 1)
+    assert mpfs.steer(flow, "x") == 1
+    assert mpfs.remove_flow(flow)
+    assert mpfs.steer(flow, "x") == 0
+    assert not mpfs.remove_flow(flow)
+
+
+def test_mpfs_flow_expiry():
+    mpfs = Mpfs(mode="flow")
+    flow = Flow.make(0)
+    mpfs.update_flow(flow, 1, now=0)
+    assert mpfs.flow_rule_count() == 1
+    expired = mpfs.expire_idle(now=10_000, idle_ns=5000)
+    assert expired == [flow]
+    assert mpfs.flow_rule_count() == 0
+
+
+def test_mpfs_invalid_mode():
+    with pytest.raises(ValueError):
+        Mpfs(mode="vlan")

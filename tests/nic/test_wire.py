@@ -1,0 +1,47 @@
+"""Tests for the Ethernet wire."""
+
+import pytest
+
+from repro.nic.packet import wire_bytes
+from repro.nic.wire import EthernetWire
+from repro.sim import Environment
+
+
+def test_wire_delay_includes_propagation_and_service():
+    wire = EthernetWire(Environment(), gigabits=100, propagation_ns=600)
+    delay = wire.send("a_to_b", 1, 1500)
+    service = int(round(wire_bytes(1500) * 8 / 100))  # ns at 100 Gb/s
+    assert delay == 600 + service
+
+
+def test_wire_directions_independent():
+    wire = EthernetWire(Environment(), gigabits=100)
+    wire.send("a_to_b", 1000, 1500)
+    # Reverse direction sees no backlog.
+    baseline = wire.send("b_to_a", 1, 1500)
+    assert baseline < 2000
+
+
+def test_wire_backlog_accumulates_same_direction():
+    wire = EthernetWire(Environment(), gigabits=100)
+    first = wire.send("a_to_b", 64, 1500)
+    second = wire.send("a_to_b", 64, 1500)
+    assert second > first
+
+
+def test_wire_line_rate_packets_per_sec():
+    wire = EthernetWire(Environment(), gigabits=100)
+    rate = wire.line_rate_packets_per_sec(1500)
+    # ~7.8 Mpps for MTU frames at 100 GbE
+    assert 7e6 < rate < 9e6
+
+
+def test_wire_rejects_bad_args():
+    env = Environment()
+    with pytest.raises(ValueError):
+        EthernetWire(env, gigabits=0)
+    wire = EthernetWire(env)
+    with pytest.raises(ValueError):
+        wire.send("sideways", 1, 100)
+    with pytest.raises(ValueError):
+        wire.send("a_to_b", -1, 100)

@@ -1,0 +1,110 @@
+"""Tests for the NVMe controller and driver."""
+
+import pytest
+
+from repro.nvme import NvmeController, NvmeDriver, NvmeQueuePair
+from repro.pcie.fabric import bifurcate
+from repro.topology import dell_skylake
+
+
+@pytest.fixture
+def machine():
+    return dell_skylake()
+
+
+def single_port(machine, name="ssd"):
+    return NvmeController(machine, bifurcate(machine, 8, [0], name=name),
+                          name=name)
+
+
+def dual_port(machine, name="octossd"):
+    return NvmeController(machine, bifurcate(machine, 16, [0, 1],
+                                             name=name), name=name)
+
+
+def test_controller_needs_a_pf(machine):
+    with pytest.raises(ValueError):
+        NvmeController(machine, [])
+
+
+def test_dual_port_detection(machine):
+    assert not single_port(machine).dual_port
+    assert dual_port(machine).dual_port
+
+
+def test_read_charges_flash_and_memory(machine):
+    ssd = single_port(machine)
+    core = machine.cores_on_node(0)[0]
+    qp = NvmeQueuePair(0, core, machine)
+    delay = ssd.read(qp, 128 * 1024)
+    assert delay > 0
+    assert ssd.flash.bytes_total == 128 * 1024
+    assert ssd.read_bytes == 128 * 1024
+
+
+def test_read_validates_size(machine):
+    ssd = single_port(machine)
+    qp = NvmeQueuePair(0, machine.cores_on_node(0)[0], machine)
+    with pytest.raises(ValueError):
+        ssd.read(qp, 0)
+    with pytest.raises(ValueError):
+        ssd.write(qp, -1)
+
+
+def test_local_read_completion_is_fresh(machine):
+    ssd = single_port(machine)
+    core = machine.cores_on_node(0)[0]
+    driver = NvmeDriver(machine, ssd)
+    cpu, dev = driver.submit_read(core, 128 * 1024)
+    # Local port + DDIO: completion read costs nothing beyond the base.
+    qp = driver.qp_for_core(core)
+    assert machine.memory.read_fresh_dma_line(0, qp.ring) == 0
+
+
+def test_remote_read_crosses_interconnect(machine):
+    ssd = single_port(machine)  # attached to node 0
+    core = machine.cores_on_node(1)[0]
+    driver = NvmeDriver(machine, ssd)
+    link = machine.interconnect.link(0, 1)
+    driver.submit_read(core, 128 * 1024)
+    assert link.server.bytes_total >= 128 * 1024
+
+
+def test_octo_mode_requires_dual_port(machine):
+    with pytest.raises(ValueError):
+        NvmeDriver(machine, single_port(machine), octo_mode=True)
+
+
+def test_octo_mode_picks_local_port(machine):
+    ssd = dual_port(machine)
+    assert ssd.pick_pf(0, octo_mode=True).attach_node == 0
+    assert ssd.pick_pf(1, octo_mode=True).attach_node == 1
+    # Standard mode always port 0.
+    assert ssd.pick_pf(1, octo_mode=False).attach_node == 0
+
+
+def test_octossd_avoids_interconnect_for_far_node(machine):
+    ssd = dual_port(machine)
+    driver = NvmeDriver(machine, ssd, octo_mode=True)
+    core = machine.cores_on_node(1)[0]
+    driver.submit_read(core, 128 * 1024)
+    for link in machine.interconnect.links():
+        assert link.server.bytes_total == 0
+
+
+def test_driver_reuses_queue_pairs(machine):
+    ssd = single_port(machine)
+    driver = NvmeDriver(machine, ssd)
+    core = machine.cores_on_node(0)[0]
+    assert driver.qp_for_core(core) is driver.qp_for_core(core)
+    other = machine.cores_on_node(0)[1]
+    assert driver.qp_for_core(core) is not driver.qp_for_core(other)
+
+
+def test_write_path(machine):
+    ssd = single_port(machine)
+    driver = NvmeDriver(machine, ssd)
+    core = machine.cores_on_node(0)[0]
+    cpu, dev = driver.submit_write(core, 64 * 1024)
+    assert cpu > 0 and dev > 0
+    assert ssd.write_bytes == 64 * 1024

@@ -1,0 +1,86 @@
+"""Tests for the netdevice driver layer."""
+
+import pytest
+
+from repro.core import Testbed
+from repro.nic.packet import Flow
+from repro.os_model.driver import StandardDriver
+
+
+def test_standard_driver_validates_pf_id():
+    testbed = Testbed("local")
+    with pytest.raises(ValueError):
+        StandardDriver(testbed.server.machine, testbed.server.nic, pf_id=5)
+
+
+def test_standard_driver_has_queue_pair_per_core():
+    testbed = Testbed("local")
+    driver = testbed.server.driver
+    machine = testbed.server.machine
+    for core in machine.cores:
+        assert driver.rx_queue_for_core(core).core is core
+        assert driver.tx_queue_for_core(core).core is core
+
+
+def test_standard_driver_all_queues_use_its_pf():
+    testbed = Testbed("remote")
+    driver = testbed.server.driver
+    for queue in driver.queues.rx + driver.queues.tx:
+        assert queue.pf is testbed.server.nic.pf(0)
+
+
+def test_standard_driver_queue_memory_is_core_local():
+    testbed = Testbed("local")
+    driver = testbed.server.driver
+    for core in testbed.server.machine.cores:
+        rxq = driver.rx_queue_for_core(core)
+        assert rxq.ring.home_node == core.node_id
+        assert rxq.buffers.home_node == core.node_id
+
+
+def test_standard_driver_dst_mac_matches_pf():
+    testbed = Testbed("local")
+    driver = testbed.server.driver
+    assert driver.dst_mac() == testbed.server.nic.mac_for_pf(0)
+
+
+def test_steer_rx_first_time_immediate():
+    testbed = Testbed("local")
+    driver = testbed.server.driver
+    flow = Flow.make(0)
+    core = testbed.server_core(2)
+    driver.steer_rx(flow, core)  # no existing rule -> applied now
+    queue = testbed.server.nic.firmware.arfs[0].lookup(flow)
+    assert queue.core is core
+
+
+def test_steer_rx_resteer_is_deferred():
+    testbed = Testbed("local")
+    driver = testbed.server.driver
+    firmware = testbed.server.nic.firmware
+    flow = Flow.make(0)
+    a, b = testbed.server_core(0), testbed.server_core(1)
+    driver.steer_rx(flow, a, immediate=True)
+    driver.rx_queue_for_core(a).outstanding = 10
+    driver.steer_rx(flow, b)
+    assert firmware.arfs[0].lookup(flow).core is a  # not yet
+    testbed.run(testbed.env.now + 10_000_000)
+    assert firmware.arfs[0].lookup(flow).core is b
+
+
+def test_drain_delay_scales_with_outstanding():
+    testbed = Testbed("local")
+    driver = testbed.server.driver
+    queue = driver.rx_queue_for_core(testbed.server_core(0))
+    queue.outstanding = 0
+    short = driver._drain_delay_ns(queue)
+    queue.outstanding = 1000
+    assert driver._drain_delay_ns(queue) > short
+
+
+def test_queue_drained_flag():
+    testbed = Testbed("local")
+    queue = testbed.server.driver.rx_queue_for_core(testbed.server_core(0))
+    assert queue.is_drained()
+    queue.outstanding = 5
+    assert not queue.is_drained()

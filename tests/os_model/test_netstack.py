@@ -1,0 +1,132 @@
+"""Tests for the network stack: sockets, XPS/ARFS semantics, data paths."""
+
+import pytest
+
+from repro.core import Testbed
+from repro.nic.packet import Flow
+
+
+@pytest.fixture(params=["local", "remote", "ioctopus"])
+def testbed(request):
+    return Testbed(request.param)
+
+
+def idle(thread):
+    while True:
+        yield thread.sleep(10_000)
+
+
+def open_server_socket(testbed, core=None):
+    host = testbed.server
+    core = core or testbed.server_core(0)
+    thread = host.scheduler.spawn("app", idle, core=core)
+    sock = host.stack.open_socket(thread, host.driver, Flow.make(0))
+    return host, thread, sock
+
+
+def test_socket_tx_queue_follows_owner_core(testbed):
+    host, thread, sock = open_server_socket(testbed)
+    assert sock.tx_queue.core is thread.core
+    assert sock.app_buffer.home_node == thread.core.node_id
+
+
+def test_open_socket_installs_steering(testbed):
+    host, thread, sock = open_server_socket(testbed)
+    queue, _ = host.nic.rx_deliver(sock.flow, sock.dst_mac, 1, 100)
+    assert queue.core is thread.core
+
+
+def test_rx_burst_returns_costs(testbed):
+    host, thread, sock = open_server_socket(testbed)
+    cpu, dev = host.stack.rx_burst(sock, 4, 1448)
+    assert cpu > 0 and dev > 0
+    assert sock.rx_messages == 4
+
+
+def test_tx_burst_returns_costs(testbed):
+    host, thread, sock = open_server_socket(testbed)
+    cpu, dev = host.stack.tx_burst(sock, 2, 65536)
+    assert cpu > 0 and dev > 0
+    assert sock.tx_messages == 2
+
+
+def test_burst_validates_message_count(testbed):
+    host, thread, sock = open_server_socket(testbed)
+    with pytest.raises(ValueError):
+        host.stack.rx_burst(sock, 0, 100)
+    with pytest.raises(ValueError):
+        host.stack.tx_burst(sock, 0, 100)
+
+
+def test_latency_paths_positive_and_rx_wire_optional(testbed):
+    host, thread, sock = open_server_socket(testbed)
+    tx = host.stack.latency_tx(sock, 64)
+    rx_with = host.stack.latency_rx(sock, 64, charge_wire=True)
+    rx_without = host.stack.latency_rx(sock, 64, charge_wire=False)
+    assert tx > 0 and rx_with > 0
+    assert rx_without <= rx_with
+
+
+def test_migration_repoints_tx_queue(testbed):
+    host, thread, sock = open_server_socket(testbed)
+    old_queue = sock.tx_queue
+    target = host.machine.cores_on_node(1 - thread.core.node_id)[5]
+    host.scheduler.set_affinity(thread, target)
+    assert sock.tx_queue is not old_queue
+    assert sock.tx_queue.core is target
+
+
+def test_migration_resteers_rx_after_drain(testbed):
+    host, thread, sock = open_server_socket(testbed)
+    target = host.machine.cores_on_node(1 - thread.core.node_id)[5]
+    host.scheduler.set_affinity(thread, target)
+    # The steering update is applied by the async kernel worker.
+    host.machine.env.run(until=host.machine.env.now + 10_000_000)
+    queue, _ = host.nic.rx_deliver(sock.flow, sock.dst_mac, 1, 100)
+    assert queue.core is target
+
+
+def test_close_removes_socket(testbed):
+    host, thread, sock = open_server_socket(testbed)
+    host.stack.close(sock)
+    assert sock.closed
+    # Migration after close must not touch the closed socket.
+    target = host.machine.cores_on_node(1 - thread.core.node_id)[3]
+    host.scheduler.set_affinity(thread, target)
+
+
+def test_remote_rx_costs_more_cpu_than_local():
+    costs = {}
+    for config in ("local", "remote"):
+        tb = Testbed(config)
+        host, thread, sock = open_server_socket(tb)
+        # Warm up (first burst misses everywhere), then measure.
+        for _ in range(40):
+            host.stack.rx_burst(sock, 1, 65536)
+        cpu, _ = host.stack.rx_burst(sock, 1, 65536)
+        costs[config] = cpu
+    assert costs["remote"] > costs["local"] * 1.1
+
+
+def test_ioctopus_rx_matches_local():
+    costs = {}
+    for config in ("local", "ioctopus"):
+        tb = Testbed(config)
+        host, thread, sock = open_server_socket(tb)
+        for _ in range(40):
+            host.stack.rx_burst(sock, 1, 65536)
+        cpu, _ = host.stack.rx_burst(sock, 1, 65536)
+        costs[config] = cpu
+    assert costs["ioctopus"] == pytest.approx(costs["local"], rel=0.02)
+
+
+def test_tx_placement_insensitive():
+    costs = {}
+    for config in ("local", "remote"):
+        tb = Testbed(config)
+        host, thread, sock = open_server_socket(tb)
+        for _ in range(40):
+            host.stack.tx_burst(sock, 1, 65536)
+        cpu, _ = host.stack.tx_burst(sock, 1, 65536)
+        costs[config] = cpu
+    assert costs["remote"] < costs["local"] * 1.12

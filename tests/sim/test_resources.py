@@ -1,0 +1,293 @@
+"""Unit tests for Resource, Store and bandwidth servers."""
+
+import pytest
+
+from repro.sim import (
+    BandwidthServer,
+    Environment,
+    ProcessorSharingServer,
+    Resource,
+    SimulationError,
+    Store,
+)
+
+
+# ---------------------------------------------------------------- Resource
+
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    assert r1.triggered and r2.triggered and not r3.triggered
+    assert res.count == 2
+    assert res.queue_length == 1
+
+
+def test_resource_release_admits_waiter():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    assert not r2.triggered
+    res.release(r1)
+    assert r2.triggered
+
+
+def test_resource_context_manager_releases():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    holder_times = []
+
+    def holder():
+        with res.request() as req:
+            yield req
+            yield env.timeout(100)
+        holder_times.append(env.now)
+
+    def waiter():
+        with res.request() as req:
+            yield req
+            holder_times.append(env.now)
+
+    env.process(holder())
+    env.process(waiter())
+    env.run()
+    assert holder_times == [100, 100]
+
+
+def test_resource_cancel_queued_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    res.release(r2)  # cancel while queued
+    res.release(r1)
+    assert res.count == 0
+    assert res.queue_length == 0
+
+
+def test_resource_double_release_harmless():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    r1 = res.request()
+    res.release(r1)
+    res.release(r1)
+    assert res.count == 0
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(tag, hold):
+        with res.request() as req:
+            yield req
+            order.append(tag)
+            yield env.timeout(hold)
+
+    for tag in ("a", "b", "c"):
+        env.process(user(tag, 10))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+# ------------------------------------------------------------------- Store
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append(item)
+
+    env.process(consumer())
+    store.put("pkt")
+    env.run()
+    assert got == ["pkt"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer():
+        yield env.timeout(40)
+        store.put("late")
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == [(40, "late")]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    assert store.put("a").triggered
+    blocked = store.put("b")
+    assert not blocked.triggered
+
+    def consumer():
+        yield store.get()
+
+    env.process(consumer())
+    env.run()
+    assert blocked.triggered
+    assert store.level == 1  # "b" admitted
+
+
+def test_store_fifo_ordering():
+    env = Environment()
+    store = Store(env)
+    for item in (1, 2, 3):
+        store.put(item)
+    assert store.try_get() == 1
+    assert store.try_get() == 2
+    assert store.try_get() == 3
+    assert store.try_get() is None
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_store_handoff_to_waiting_getter_skips_buffer():
+    env = Environment()
+    store = Store(env, capacity=1)
+    got = []
+
+    def consumer():
+        item = yield store.get()
+        got.append(item)
+
+    env.process(consumer())
+    env.run()
+    store.put("x")
+    env.run()
+    assert got == ["x"]
+    assert store.level == 0
+
+
+# -------------------------------------------------------- BandwidthServer
+
+def test_bandwidth_service_time():
+    env = Environment()
+    link = BandwidthServer(env, bytes_per_sec=1e9)  # 1 GB/s = 1 B/ns
+    assert link.service_time(1000) == 1000
+    assert link.service_time(0) == 0
+
+
+def test_bandwidth_transfers_queue_fifo():
+    env = Environment()
+    link = BandwidthServer(env, bytes_per_sec=1e9)
+    done = []
+
+    def sender(tag, nbytes):
+        yield link.transfer(nbytes)
+        done.append((tag, env.now))
+
+    env.process(sender("a", 1000))
+    env.process(sender("b", 1000))
+    env.run()
+    assert done == [("a", 1000), ("b", 2000)]
+
+
+def test_bandwidth_queueing_delay_visible():
+    env = Environment()
+    link = BandwidthServer(env, bytes_per_sec=1e9)
+    link.transfer(5000)
+    assert link.queueing_delay() == 5000
+
+
+def test_bandwidth_account_matches_transfer():
+    env = Environment()
+    link = BandwidthServer(env, bytes_per_sec=1e9)
+    assert link.account(100) == 100
+    # second access queues behind the first
+    assert link.account(100) == 200
+
+
+def test_bandwidth_idle_gap_not_counted_busy():
+    env = Environment()
+    link = BandwidthServer(env, bytes_per_sec=1e9)
+
+    def body():
+        yield link.transfer(100)
+        yield env.timeout(900)
+
+    env.process(body())
+    env.run()
+    assert env.now == 1000
+    assert link.utilization() == pytest.approx(0.1)
+
+
+def test_bandwidth_window_throughput():
+    env = Environment()
+    link = BandwidthServer(env, bytes_per_sec=2e9)
+
+    def body():
+        link.reset_window()
+        yield link.transfer(2000)
+
+    env.process(body())
+    env.run()
+    assert link.window_throughput_bps() == pytest.approx(2e9)
+
+
+def test_bandwidth_rejects_bad_args():
+    env = Environment()
+    with pytest.raises(ValueError):
+        BandwidthServer(env, bytes_per_sec=0)
+    link = BandwidthServer(env, bytes_per_sec=1e9)
+    with pytest.raises(ValueError):
+        link.service_time(-1)
+
+
+# -------------------------------------------- ProcessorSharingServer
+
+def test_ps_server_single_flow_full_rate():
+    env = Environment()
+    dram = ProcessorSharingServer(env, bytes_per_sec=1e9)
+    assert dram.account(1000) == 1000
+
+
+def test_ps_server_shared_rate():
+    env = Environment()
+    dram = ProcessorSharingServer(env, bytes_per_sec=1e9)
+    dram.enter()
+    dram.enter()
+    assert dram.account(1000) == 2000
+    dram.leave()
+    assert dram.account(1000) == 1000
+    dram.leave()
+
+
+def test_ps_server_leave_without_enter():
+    env = Environment()
+    dram = ProcessorSharingServer(env, bytes_per_sec=1e9)
+    with pytest.raises(SimulationError):
+        dram.leave()
+
+
+def test_ps_server_tracks_bytes():
+    env = Environment()
+    dram = ProcessorSharingServer(env, bytes_per_sec=1e9)
+    dram.account(123)
+    dram.account(877)
+    assert dram.bytes_total == 1000

@@ -1,0 +1,97 @@
+"""Tests for machine topology and presets."""
+
+import pytest
+
+from repro.topology import (
+    Machine,
+    dell_r730,
+    dell_r730_spec,
+    dell_skylake,
+    dell_skylake_spec,
+)
+
+
+def test_r730_matches_paper_testbed():
+    spec = dell_r730_spec()
+    assert spec.num_nodes == 2
+    assert spec.cpu.cores == 14
+    assert spec.cpu.ghz == pytest.approx(2.0)
+
+
+def test_skylake_matches_paper_testbed():
+    spec = dell_skylake_spec()
+    assert spec.num_nodes == 2
+    assert spec.cpu.cores == 24
+
+
+def test_machine_builds_all_cores():
+    m = dell_r730()
+    assert len(m.cores) == 28
+    assert len(m.nodes) == 2
+    assert m.node_of_core(0) == 0
+    assert m.node_of_core(14) == 1
+    assert [c.core_id for c in m.cores_on_node(1)] == list(range(14, 28))
+
+
+def test_core_ids_unique_and_ordered():
+    m = dell_skylake()
+    assert [c.core_id for c in m.cores] == list(range(48))
+
+
+def test_core_charge_accumulates():
+    m = dell_r730()
+    core = m.core(0)
+    core.charge(100)
+    core.charge(50)
+    assert core.busy_ns == 150
+    with pytest.raises(ValueError):
+        core.charge(-1)
+
+
+def test_core_window_utilization():
+    m = dell_r730()
+    core = m.core(3)
+    core.reset_window()
+    core.charge(400)
+    m.env._now = 1000
+    assert core.window_utilization() == pytest.approx(0.4)
+
+
+def test_alloc_region_places_on_node():
+    m = dell_r730()
+    r = m.alloc_region("buf", 1, 4096)
+    assert r.home_node == 1
+    with pytest.raises(ValueError):
+        m.alloc_region("bad", 7, 4096)
+
+
+def test_reset_measurement_windows():
+    m = dell_r730()
+    r = m.alloc_region("buf", 0, 4096)
+    m.memory.dma_write(1, r, 4096)
+    m.core(0).charge(100)
+    m.reset_measurement_windows()
+    assert m.memory.total_window_bandwidth_bps() == 0.0
+    assert m.core(0).window_utilization() == 0.0
+
+
+def test_seed_controls_rng():
+    a, b = dell_r730(seed=1), dell_r730(seed=1)
+    assert a.rng.random() == b.rng.random()
+    c = dell_r730(seed=2)
+    assert a.rng.random() != c.rng.random()
+
+
+def test_invalid_spec_rejected():
+    from repro.topology.constants import (CpuSpec, InterconnectSpec,
+                                          MachineSpec, MemorySpec)
+    with pytest.raises(ValueError):
+        MachineSpec(
+            name="bad", num_nodes=0,
+            cpu=CpuSpec(cores=1, ghz=1.0, llc_bytes=1),
+            memory=MemorySpec(bytes_per_sec=1.0, capacity_bytes=1),
+            interconnect=InterconnectSpec(bytes_per_sec_per_direction=1.0))
+
+
+def test_machine_repr_mentions_name():
+    assert "dell-r730" in repr(dell_r730())

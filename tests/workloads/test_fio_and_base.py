@@ -1,0 +1,82 @@
+"""Tests for the fio workload and the workload base class."""
+
+import pytest
+
+from repro.core.configurations import Host
+from repro.nic.device import NicDevice
+from repro.nic.firmware import StandardFirmware
+from repro.nvme import NvmeController, NvmeDriver
+from repro.os_model.driver import StandardDriver
+from repro.pcie.fabric import bifurcate
+from repro.topology import dell_skylake
+from repro.workloads import FioReader, spawn_fio_fleet
+from repro.workloads.base import Workload
+
+DUR = 20_000_000
+
+
+def make_host():
+    machine = dell_skylake()
+    nic = NicDevice(machine, bifurcate(machine, 16, [0], name="n"),
+                    StandardFirmware(1))
+    return Host(machine, nic, StandardDriver(machine, nic, 0))
+
+
+def test_workload_validates_duration():
+    host = make_host()
+    with pytest.raises(ValueError):
+        Workload(host, duration_ns=100, warmup_ns=100)
+
+
+def test_fio_reader_measures_throughput():
+    host = make_host()
+    ssd = NvmeController(host.machine,
+                         bifurcate(host.machine, 8, [0], name="ssd"))
+    driver = NvmeDriver(host.machine, ssd)
+    reader = FioReader(host, host.machine.cores_on_node(0)[0], driver,
+                       DUR, warmup_ns=4_000_000)
+    host.machine.env.run(until=DUR + 4_000_000)
+    # One thread against a 6.2 GB/s drive: flash-bound ~= 49 Gb/s.
+    assert 30 < reader.throughput_gbps() < 60
+
+
+def test_fio_fleet_spreads_over_drives():
+    host = make_host()
+    ssds = [NvmeController(host.machine,
+                           bifurcate(host.machine, 8, [0], name=f"s{i}"),
+                           name=f"s{i}") for i in range(2)]
+    drivers = [NvmeDriver(host.machine, s) for s in ssds]
+    cores = host.machine.cores_on_node(1)[:4]
+    fleet = spawn_fio_fleet(host, cores, drivers, DUR, 4_000_000)
+    assert [f.driver.controller.name for f in fleet] == [
+        "s0", "s1", "s0", "s1"]
+    host.machine.env.run(until=DUR + 4_000_000)
+    for ssd in ssds:
+        assert ssd.read_bytes > 0
+
+
+def test_fio_fleet_requires_drivers():
+    host = make_host()
+    with pytest.raises(ValueError):
+        spawn_fio_fleet(host, host.machine.cores[:1], [], DUR)
+
+
+def test_remote_fio_slower_than_local_under_congestion():
+    from repro.workloads.stream_bench import StreamThread
+    rates = {}
+    for placement in ("local", "remote"):
+        host = make_host()
+        machine = host.machine
+        ssd = NvmeController(machine,
+                             bifurcate(machine, 8, [0], name="ssd"))
+        driver = NvmeDriver(machine, ssd)
+        node = 0 if placement == "local" else 1
+        core = machine.cores_on_node(node)[6]
+        reader = FioReader(host, core, driver, DUR, 4_000_000)
+        for i in range(6):
+            StreamThread(host, machine.cores_on_node(0)[i], target_node=1,
+                         kind="write", duration_ns=DUR,
+                         warmup_ns=4_000_000)
+        machine.env.run(until=DUR + 4_000_000)
+        rates[placement] = reader.throughput_gbps()
+    assert rates["remote"] < rates["local"]
