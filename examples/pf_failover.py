@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Surprise-remove a PF mid-run and watch the octoNIC degrade, not die.
+
+A netperf TCP Rx process runs on socket 1, served by PF1 (its local
+PF).  At 200 ms PF1 is hot-unplugged: the team driver re-homes socket
+1's queues onto PF0, re-points the live ARFS/IOctoRFS rules after the
+dead queues drain, and throughput settles at the nonuniform-DMA
+(`remote`) level.  At 400 ms PF1 returns and full-speed local DMA
+resumes.  The whole episode is driven by a declarative FaultPlan and is
+reproducible from the seed.
+
+Run:  python examples/pf_failover.py
+"""
+
+from repro.experiments.fig_failover import run_failover
+
+DURATION_NS = 600_000_000
+FAIL_AT_NS = 200_000_000
+RECOVER_AT_NS = 400_000_000
+
+
+def main() -> None:
+    print("TCP Rx throughput per physical function, sampled every 50 ms")
+    print(f"(PF1 removed at {FAIL_AT_NS / 1e6:.0f} ms, recovered at "
+          f"{RECOVER_AT_NS / 1e6:.0f} ms)\n")
+    run = run_failover(DURATION_NS, FAIL_AT_NS, RECOVER_AT_NS, seed=0)
+    for t, pf0, pf1 in zip(run.series["pf0"].times_ns,
+                           run.series["pf0"].values,
+                           run.series["pf1"].values):
+        marker = ""
+        if t == FAIL_AT_NS + 50_000_000:
+            marker = "   <- PF1 gone: failover to PF0 (remote DMA)"
+        elif t == RECOVER_AT_NS + 50_000_000:
+            marker = "   <- PF1 back: local DMA again"
+        print(f"    t={t / 1e6:5.0f} ms  pf0={pf0:6.2f} Gb/s  "
+              f"pf1={pf1:6.2f} Gb/s{marker}")
+
+    print("\nFault/recovery trace (deterministic for a given seed):")
+    for line in run.trace:
+        print(f"    {line}")
+
+    pre = run.series["pf1"].mean(0, FAIL_AT_NS)
+    during = run.series["pf0"].mean(FAIL_AT_NS + 50_000_000, RECOVER_AT_NS)
+    after = run.series["pf1"].mean(RECOVER_AT_NS + 50_000_000)
+    print(f"\npre-fault {pre:.2f} Gb/s -> degraded {during:.2f} Gb/s "
+          f"-> recovered {after:.2f} Gb/s")
+    print("The octoNIC loses its locality advantage while PF1 is out — "
+          "but never the netdev.")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,6 +25,7 @@ that regenerates every figure in the paper's evaluation.
 from repro.core import Testbed
 from repro.core.teaming import OctoTeamDriver
 from repro.experiments import all_experiment_names, get_experiment
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.nic import (
     EthernetWire,
     Flow,
@@ -51,6 +52,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "EthernetWire",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "FioReader",
     "Flow",
     "Machine",

@@ -10,6 +10,14 @@ piggybacks on the stack's existing callbacks:
   after the old queue drains, so packets never reorder (§4.2 "Receive").
 * A periodic worker expires idle rules from the driver tables and the
   device, mirroring the Linux ARFS garbage collector.
+
+Fault tolerance: the driver registers for the device's PF hot-unplug
+notifications.  When a PF dies it re-homes that socket's queues onto a
+surviving PF, re-registers the default (RSS) queue lists, and — after the
+dead PF's queues drain, so packets never reorder — re-points every live
+ARFS and IOctoRFS rule.  The netdev stays up at nonuniform-DMA (`remote`)
+throughput instead of disappearing; on PF recovery the mapping is undone
+the same way and full octopus throughput returns.
 """
 
 from __future__ import annotations
@@ -21,6 +29,8 @@ from repro.nic.firmware import OctoFirmware
 from repro.nic.packet import Flow
 from repro.nic.rings import QueueSet
 from repro.os_model.driver import NetDriver
+from repro.pcie.fabric import PhysicalFunction
+from repro.sim.errors import DeviceGoneError
 from repro.topology.machine import Core, Machine
 
 #: Default idle time before a steering rule is garbage-collected.
@@ -32,25 +42,34 @@ class OctoTeamDriver(NetDriver):
 
     name = "octo-team"
 
-    def __init__(self, machine: Machine, device: NicDevice):
+    def __init__(self, machine: Machine, device: NicDevice,
+                 allow_degraded: bool = False):
         super().__init__(machine, device)
         if not isinstance(device.firmware, OctoFirmware):
             raise TypeError(
                 "OctoTeamDriver requires a device running OctoFirmware; "
                 f"got {type(device.firmware).__name__}")
         missing = [n for n in range(machine.spec.num_nodes)
-                   if device.pf_local_to(n) is None]
-        if missing:
+                   if device.pf_local_to(n) is None
+                   or not device.pf_local_to(n).alive]
+        if missing and not allow_degraded:
             raise ValueError(
-                f"octoNIC needs a PF on every node; missing {missing}")
-        self.queues = QueueSet(
-            machine, machine.cores,
-            pf_for_core=lambda core: device.pf_local_to(core.node_id))
-        for pf in device.pfs:
-            local_rx = [q for q in self.queues.rx
-                        if q.pf is pf]
-            device.firmware.register_default_queues(pf.pf_id, local_rx)
+                f"octoNIC needs a PF on every node; missing {missing} "
+                f"(pass allow_degraded=True to run those sockets through "
+                f"a remote PF)")
+        if not device.alive_pfs:
+            raise ValueError("octoNIC has no usable PF at all")
+        self.queues = QueueSet(machine, machine.cores,
+                               pf_for_core=self._pf_for_core)
+        self._register_defaults()
         self._expiry_process = None
+        #: Completed PF failovers / recoveries (exposed for tests/metrics).
+        self.failovers = 0
+        self.recoveries = 0
+        #: Steering rules dropped by the expiry worker.
+        self.rules_expired = 0
+        device.add_pf_listener(on_failure=self._on_pf_failure,
+                               on_recovery=self._on_pf_recovery)
 
     def dst_mac(self) -> str:
         return OctoFirmware.MAC
@@ -77,6 +96,121 @@ class OctoTeamDriver(NetDriver):
         else:
             self._apply_after(self._drain_delay_ns(old_queue), apply)
 
+    # ----------------------------------------------------- queue homing
+
+    def _pf_for_core(self, core: Core) -> PhysicalFunction:
+        """The PF serving ``core``: its socket's PF when alive, else the
+        lowest-numbered surviving PF (nonuniform, but functional)."""
+        local = self.device.pf_local_to(core.node_id)
+        if local is not None and local.alive:
+            return local
+        fallback = self._fallback_pf()
+        if fallback is None:
+            raise DeviceGoneError(
+                f"octoNIC: no surviving PF to serve core {core.core_id}")
+        return fallback
+
+    def _fallback_pf(self, exclude: Optional[PhysicalFunction] = None) -> (
+            Optional[PhysicalFunction]):
+        for pf in self.device.pfs:
+            if pf.alive and pf is not exclude:
+                return pf
+        return None
+
+    def _register_defaults(self) -> None:
+        """(Re-)register each surviving PF's default queue list with the
+        firmware; dead PFs are left with an empty list."""
+        firmware = self.device.firmware
+        for pf in self.device.pfs:
+            local_rx = [q for q in self.queues.rx
+                        if q.pf is pf] if pf.alive else []
+            firmware.register_default_queues(pf.pf_id, local_rx)
+
+    # ------------------------------------------------------- PF failover
+
+    def _on_pf_failure(self, pf: PhysicalFunction) -> None:
+        """Device callback: ``pf`` was surprise-removed.
+
+        Queue re-homing and default-queue registration are immediate (the
+        hot-unplug handler); the per-flow rule re-steer is deferred until
+        the dead PF's queues drain, preserving §4.2's no-reorder rule.
+        """
+        firmware: OctoFirmware = self.device.firmware
+        fallback = self._fallback_pf(exclude=pf)
+        if fallback is None:
+            self._trace("failover.dead_netdev",
+                        f"pf{pf.pf_id} was the last PF; netdev down")
+            return
+        moved_rx = [q for q in self.queues.rx if q.pf is pf]
+        moved_tx = [q for q in self.queues.tx if q.pf is pf]
+        for queue in moved_rx + moved_tx:
+            queue.pf = fallback
+        self._register_defaults()
+
+        arfs_rules = firmware.arfs[pf.pf_id].snapshot()
+        flows = firmware.mpfs.flows_on_pf(pf.pf_id)
+        drain = max((self._drain_delay_ns(q) for q in moved_rx), default=0)
+
+        def apply():
+            now = self.env.now
+            for flow, queue in arfs_rules:
+                firmware.arfs_remove(pf.pf_id, flow)
+                firmware.arfs_update(fallback.pf_id, flow, queue, now=now)
+            for flow in flows:
+                firmware.ioctorfs_update(flow, fallback.pf_id, now=now)
+            self.failovers += 1
+            self._trace("failover.applied",
+                        f"pf{pf.pf_id}->pf{fallback.pf_id} "
+                        f"flows={len(flows)} arfs={len(arfs_rules)}")
+
+        self._trace("failover.begin",
+                    f"pf{pf.pf_id}->pf{fallback.pf_id} "
+                    f"queues={len(moved_rx) + len(moved_tx)} "
+                    f"drain_ns={drain}")
+        self._apply_after(drain, apply)
+
+    def _on_pf_recovery(self, pf: PhysicalFunction) -> None:
+        """Device callback: ``pf`` came back.  Re-home its socket's
+        queues and re-steer their flows, again after a drain."""
+        firmware: OctoFirmware = self.device.firmware
+        back_rx = [q for q in self.queues.rx
+                   if q.core.node_id == pf.attach_node and q.pf is not pf]
+        back_tx = [q for q in self.queues.tx
+                   if q.core.node_id == pf.attach_node and q.pf is not pf]
+        for queue in back_rx + back_tx:
+            queue.pf = pf
+        self._register_defaults()
+
+        # Rules whose queue just moved home: re-point them to the
+        # recovered PF's tables once the interim queue drains.
+        moved_queues = set(id(q) for q in back_rx)
+        resteer = []
+        for other_id in range(firmware.num_pfs):
+            if other_id == pf.pf_id:
+                continue
+            for flow, queue in firmware.arfs[other_id].snapshot():
+                if id(queue) in moved_queues:
+                    resteer.append((other_id, flow, queue))
+        drain = max((self._drain_delay_ns(q) for q in back_rx), default=0)
+
+        def apply():
+            now = self.env.now
+            for old_pf_id, flow, queue in resteer:
+                firmware.arfs_remove(old_pf_id, flow)
+                firmware.arfs_update(pf.pf_id, flow, queue, now=now)
+                firmware.ioctorfs_update(flow, pf.pf_id, now=now)
+            self.recoveries += 1
+            self._trace("recovery.applied",
+                        f"pf{pf.pf_id} flows={len(resteer)}")
+
+        self._trace("recovery.begin",
+                    f"pf{pf.pf_id} queues={len(back_rx) + len(back_tx)} "
+                    f"drain_ns={drain}")
+        self._apply_after(drain, apply)
+
+    def _trace(self, event: str, detail: str) -> None:
+        self.machine.tracer.emit(self.env.now, self.name, event, detail)
+
     # --------------------------------------------------------- rule expiry
 
     def start_expiry_worker(self, period_ns: int = 100_000_000,
@@ -92,12 +226,11 @@ class OctoTeamDriver(NetDriver):
             while True:
                 yield self.env.timeout(period_ns)
                 now = self.env.now
-                expired = firmware.expire_idle(now, idle_ns)
+                expired = set(firmware.expire_idle(now, idle_ns))
                 for pf_id in range(firmware.num_pfs):
-                    for flow in firmware.arfs[pf_id].expire_idle(now,
-                                                                 idle_ns):
-                        if flow not in expired:
-                            expired.append(flow)
+                    expired.update(
+                        firmware.arfs[pf_id].expire_idle(now, idle_ns))
+                self.rules_expired += len(expired)
 
         self._expiry_process = self.env.process(worker(),
                                                 name="octo-expiry")

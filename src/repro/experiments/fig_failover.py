@@ -1,0 +1,112 @@
+"""PF failover (robustness extension, Fig-14-style presentation).
+
+A TCP Rx netperf process runs on socket 1 of the `ioctopus`
+configuration, so the octoNIC serves it through PF1.  Mid-run PF1 is
+surprise-removed; the team driver fails the socket's queues over to PF0
+and the flow degrades to nonuniform-DMA (`remote`-level) throughput
+instead of dying.  When PF1 comes back the driver re-homes the queues
+and full-speed local DMA resumes.  Per-PF throughput is sampled every
+50 ms, exactly like Figure 14's steering-switch plot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.configurations import Testbed
+from repro.experiments.base import Experiment, ExperimentResult, register
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.metrics.collect import TimeSeries
+from repro.nic.packet import Flow
+from repro.units import KB
+from repro.workloads.netperf import TcpStream
+
+SAMPLE_NS = 50_000_000  # 50 ms, as in Fig 14
+#: The PF the fault removes: PF1, local to the workload's socket.
+FAILED_PF = 1
+
+
+class FailoverRun:
+    """Everything one faulted run produces."""
+
+    def __init__(self, series: Dict[str, TimeSeries],
+                 injector: FaultInjector, workload: TcpStream,
+                 trace: List[str], team):
+        self.series = series
+        self.injector = injector
+        self.workload = workload
+        self.trace = trace
+        self.team = team
+
+
+def run_failover(duration_ns: int, fail_at_ns: Optional[int] = None,
+                 recover_at_ns: Optional[int] = None,
+                 seed: int = 0) -> FailoverRun:
+    """One `ioctopus` run with an optional PF1 outage window."""
+    testbed = Testbed("ioctopus", seed=seed)
+    host = testbed.server
+    host.machine.tracer.enabled = True
+    core = host.machine.cores_on_node(1)[0]
+    workload = TcpStream(host, core, Flow.make(0), 64 * KB, "rx",
+                         duration_ns)
+
+    plan = FaultPlan()
+    if fail_at_ns is not None:
+        duration = (None if recover_at_ns is None
+                    else recover_at_ns - fail_at_ns)
+        plan.add(FaultSpec("pf_down", fail_at_ns, duration,
+                           pf_id=FAILED_PF))
+    injector = FaultInjector(testbed.env, plan, device=host.nic,
+                             wire=testbed.wire, machine=host.machine,
+                             rng=host.machine.rng)
+    injector.start()
+
+    series = {f"pf{pf.pf_id}": TimeSeries(f"pf{pf.pf_id}")
+              for pf in host.nic.pfs}
+
+    def sampler():
+        while testbed.env.now < duration_ns:
+            host.nic.reset_pf_windows()
+            yield testbed.env.timeout(SAMPLE_NS)
+            for pf in host.nic.pfs:
+                series[f"pf{pf.pf_id}"].sample(
+                    testbed.env.now, host.nic.pf_window_rx_gbps(pf.pf_id))
+
+    testbed.env.process(sampler(), name="sampler")
+    testbed.run(duration_ns + SAMPLE_NS)
+
+    trace = injector.rendered_events() + [
+        str(record) for record in host.machine.tracer.records]
+    return FailoverRun(series, injector, workload, trace, host.driver)
+
+
+@register
+class FigFailover(Experiment):
+    name = "failover"
+    paper_ref = "robustness extension (Fig 14 presentation)"
+    description = ("per-PF throughput while PF1 is surprise-removed and "
+                   "later recovered: the octoNIC degrades to remote-level "
+                   "DMA through PF0 instead of dying, then returns to "
+                   "full speed")
+
+    def run(self, fidelity: str = "normal") -> ExperimentResult:
+        duration = max(self.duration_ns(fidelity) * 10, 12 * SAMPLE_NS)
+        fail_at = duration // 3
+        recover_at = 2 * duration // 3
+        result = self.result(
+            ["scenario", "time_ms", "pf0_gbps", "pf1_gbps", "total_gbps"],
+            notes=f"PF{FAILED_PF} removed at {fail_at / 1e6:.0f} ms, "
+                  f"recovered at {recover_at / 1e6:.0f} ms; samples every "
+                  f"{SAMPLE_NS / 1e6:.0f} ms")
+        scenarios = (
+            ("baseline", None, None),
+            ("pf1-outage", fail_at, recover_at),
+        )
+        for label, fail, recover in scenarios:
+            run = run_failover(duration, fail, recover)
+            for t, pf0, pf1 in zip(run.series["pf0"].times_ns,
+                                   run.series["pf0"].values,
+                                   run.series["pf1"].values):
+                result.add(label, round(t / 1e6, 1), round(pf0, 2),
+                           round(pf1, 2), round(pf0 + pf1, 2))
+        return result

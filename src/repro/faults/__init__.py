@@ -1,0 +1,20 @@
+"""Deterministic fault injection.
+
+A :class:`FaultPlan` declares *what* fails and *when*; a
+:class:`FaultInjector` is the sim process that fires the plan against the
+live testbed components and records every injection and recovery.  Plans
+are either written by hand or drawn reproducibly from a
+:class:`~repro.sim.rng.SimRandom` seed, so a faulty run can be replayed
+event-for-event (the gem5-style determinism argument: an injected fault
+is only scientifically useful if the same seed reproduces it exactly).
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+]

@@ -40,6 +40,29 @@ class InterconnectLink:
         self.server = BandwidthServer(
             env, bytes_per_sec, name=f"qpi{src_node}->{dst_node}")
         self.estimator = RateEstimator(env, bytes_per_sec)
+        self._base_bytes_per_sec = float(bytes_per_sec)
+        self.throttle_factor = 1.0
+
+    # -------------------------------------------------------- throttling
+
+    def throttle(self, factor: float) -> None:
+        """Clamp the link to ``factor`` of its rated bandwidth (thermal /
+        fault throttling).  Crossings also see the matching latency
+        inflation because the estimator's capacity shrinks with it."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"throttle factor must be in (0, 1], "
+                             f"got {factor}")
+        self.throttle_factor = float(factor)
+        rate = self._base_bytes_per_sec * factor
+        self.server.set_rate(rate)
+        self.estimator.bytes_per_sec = rate
+
+    def unthrottle(self) -> None:
+        self.throttle(1.0)
+
+    @property
+    def is_throttled(self) -> bool:
+        return self.throttle_factor < 1.0
 
     def load_factor(self) -> float:
         """Latency inflation multiplier for crossings (>= 1, capped)."""

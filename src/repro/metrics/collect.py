@@ -110,6 +110,21 @@ class TimeSeries:
             raise ValueError("no samples in range")
         return sum(picked) / len(picked)
 
+    def min(self, t_from: int = 0, t_to: Optional[int] = None) -> float:
+        """Smallest sample in [t_from, t_to] — e.g. a failover dip."""
+        picked = [v for t, v in zip(self.times_ns, self.values)
+                  if t >= t_from and (t_to is None or t <= t_to)]
+        if not picked:
+            raise ValueError("no samples in range")
+        return min(picked)
+
+    def max(self, t_from: int = 0, t_to: Optional[int] = None) -> float:
+        picked = [v for t, v in zip(self.times_ns, self.values)
+                  if t >= t_from and (t_to is None or t <= t_to)]
+        if not picked:
+            raise ValueError("no samples in range")
+        return max(picked)
+
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence],
                  title: str = "") -> str:

@@ -9,7 +9,7 @@ port, one MAC, and an IOctoRFS steering switch in front of the PFs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.memory.region import Region
 from repro.nic.firmware import BaseFirmware, OctoFirmware
@@ -49,6 +49,9 @@ class NicDevice:
         self._pf_tx_bytes: Dict[int, int] = {pf.pf_id: 0 for pf in pfs}
         self._pf_window_rx: Dict[int, int] = {pf.pf_id: 0 for pf in pfs}
         self._window_start = machine.env.now
+        #: Drivers register here to learn about PF hot-unplug/replug.
+        self._pf_failure_callbacks: List[Callable] = []
+        self._pf_recovery_callbacks: List[Callable] = []
 
     # ------------------------------------------------------------ helpers
 
@@ -70,6 +73,53 @@ class NicDevice:
                 return pf
         return None
 
+    # ------------------------------------------------------- fault model
+
+    @property
+    def alive_pfs(self) -> List[PhysicalFunction]:
+        return [pf for pf in self.pfs if pf.alive]
+
+    def pf_alive(self, pf_id: int) -> bool:
+        return self.pfs[pf_id].alive
+
+    def add_pf_listener(self, on_failure: Optional[Callable] = None,
+                        on_recovery: Optional[Callable] = None) -> None:
+        """Register driver callbacks for PF removal/recovery.  Each is
+        called with the affected :class:`PhysicalFunction`."""
+        if on_failure is not None:
+            self._pf_failure_callbacks.append(on_failure)
+        if on_recovery is not None:
+            self._pf_recovery_callbacks.append(on_recovery)
+
+    def surprise_remove(self, pf_id: int,
+                        cause: str = "surprise-remove") -> None:
+        """Hot-unplug one PF: its PCIe presence vanishes mid-run.
+
+        The PF and firmware stop accepting work through it, then the
+        registered drivers get a chance to fail over.
+        """
+        pf = self.pfs[pf_id]
+        if not pf.alive:
+            raise ValueError(f"PF {pf_id} is already removed")
+        pf.fail()
+        self.firmware.fail_pf(pf_id)
+        self.machine.tracer.emit(self.env.now, self.name, "nic.pf_down",
+                                 f"pf{pf_id} cause={cause}")
+        for callback in self._pf_failure_callbacks:
+            callback(pf)
+
+    def recover_pf(self, pf_id: int) -> None:
+        """Replug a removed PF (link retrained, function re-enumerated)."""
+        pf = self.pfs[pf_id]
+        if pf.alive:
+            raise ValueError(f"PF {pf_id} is not removed")
+        pf.recover()
+        self.firmware.recover_pf(pf_id)
+        self.machine.tracer.emit(self.env.now, self.name, "nic.pf_up",
+                                 f"pf{pf_id}")
+        for callback in self._pf_recovery_callbacks:
+            callback(pf)
+
     # ----------------------------------------------------------- receive
 
     def rx_deliver(self, flow: Flow, dst_mac: str, npackets: int,
@@ -84,6 +134,9 @@ class NicDevice:
         """
         if npackets < 1:
             raise ValueError(f"npackets must be >= 1, got {npackets}")
+        if payload_bytes < 1:
+            raise ValueError(
+                f"payload_bytes must be >= 1, got {payload_bytes}")
         now = self.env.now
         pf_id, queue = self.firmware.steer_rx(flow, dst_mac, now)
         pf = self.pfs[pf_id]
@@ -125,6 +178,9 @@ class NicDevice:
             raise ValueError(f"{queue!r} is not bound to a PF")
         if npackets < 1:
             raise ValueError(f"npackets must be >= 1, got {npackets}")
+        if payload_bytes < 1:
+            raise ValueError(
+                f"payload_bytes must be >= 1, got {payload_bytes}")
         pf = queue.pf
         ndesc = ndesc if ndesc is not None else npackets
         payload_total = npackets * payload_bytes

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.nic.packet import Flow
 from repro.nic.steering import ArfsTable, Mpfs, rss_hash
+from repro.sim.errors import DeviceGoneError
 
 
 class BaseFirmware:
@@ -28,9 +29,33 @@ class BaseFirmware:
         self.arfs: List[ArfsTable] = [ArfsTable() for _ in range(num_pfs)]
         #: Default (RSS) queue list per PF, registered by the driver.
         self._default_queues: Dict[int, list] = {i: [] for i in range(num_pfs)}
+        #: Per-PF availability, cleared on surprise removal.
+        self._pf_alive: List[bool] = [True] * num_pfs
 
     def register_default_queues(self, pf_id: int, queues: list) -> None:
         self._default_queues[pf_id] = list(queues)
+
+    # -------------------------------------------------------- fault state
+
+    def fail_pf(self, pf_id: int) -> None:
+        """Mark a PF unavailable for steering (surprise removal)."""
+        self._check_pf_id(pf_id)
+        self._pf_alive[pf_id] = False
+
+    def recover_pf(self, pf_id: int) -> None:
+        self._check_pf_id(pf_id)
+        self._pf_alive[pf_id] = True
+
+    def pf_alive(self, pf_id: int) -> bool:
+        self._check_pf_id(pf_id)
+        return self._pf_alive[pf_id]
+
+    def surviving_pfs(self) -> List[int]:
+        return [i for i in range(self.num_pfs) if self._pf_alive[i]]
+
+    def _check_pf_id(self, pf_id: int) -> None:
+        if not 0 <= pf_id < self.num_pfs:
+            raise ValueError(f"pf_id {pf_id} out of range")
 
     def arfs_update(self, pf_id: int, flow: Flow, queue, now: int = 0) -> None:
         self.arfs[pf_id].update(flow, queue, now)
@@ -69,6 +94,11 @@ class StandardFirmware(BaseFirmware):
     def steer_rx(self, flow: Flow, dst_mac: str,
                  now: int = 0) -> Tuple[int, object]:
         pf_id = self.mpfs.steer(flow, dst_mac, now)
+        if not self._pf_alive[pf_id]:
+            # The MAC uniquely names this PF's netdev: with the PF gone
+            # there is nowhere else to deliver (the NUDMA rigidity §3.3).
+            raise DeviceGoneError(
+                f"standard firmware: PF {pf_id} for {dst_mac} is gone")
         return pf_id, self._queue_for(pf_id, flow, now)
 
 
@@ -96,7 +126,20 @@ class OctoFirmware(BaseFirmware):
     def expire_idle(self, now: int, idle_ns: int) -> List[Flow]:
         return self.mpfs.expire_idle(now, idle_ns)
 
+    def failover_pf(self, dead_pf_id: int) -> int:
+        """The PF the MPFS falls back to when ``dead_pf_id`` is gone:
+        the lowest-numbered surviving PF (deterministic)."""
+        for pf_id in self.surviving_pfs():
+            if pf_id != dead_pf_id:
+                return pf_id
+        raise DeviceGoneError("octoNIC: no surviving PF to fail over to")
+
     def steer_rx(self, flow: Flow, dst_mac: str,
                  now: int = 0) -> Tuple[int, object]:
         pf_id = self.mpfs.steer(flow, dst_mac, now)
+        if not self._pf_alive[pf_id]:
+            # The MPFS is one switch in front of *all* PFs: it can steer
+            # around a dead one in hardware, landing the flow on a
+            # surviving PF's tables until the driver re-points the rule.
+            pf_id = self.failover_pf(pf_id)
         return pf_id, self._queue_for(pf_id, flow, now)

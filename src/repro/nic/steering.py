@@ -68,6 +68,11 @@ class ArfsTable:
     def remove(self, flow: Flow) -> bool:
         return self._rules.pop(flow, None) is not None
 
+    def snapshot(self) -> List[tuple]:
+        """Stable (flow, queue) pairs — safe to iterate while mutating
+        the table (used by the failover path to migrate rules)."""
+        return [(flow, rule.target) for flow, rule in self._rules.items()]
+
     def expire_idle(self, now: int, idle_ns: int) -> List[Flow]:
         """Drop rules idle longer than ``idle_ns`` (the periodic kernel
         worker the driver runs, §4.2).  Returns expired flows."""
@@ -135,6 +140,11 @@ class Mpfs:
         """The PF a flow is currently steered to, or None if unmapped."""
         rule = self._flow_table.get(flow)
         return None if rule is None else rule.target
+
+    def flows_on_pf(self, pf_id: int) -> List[Flow]:
+        """All flows currently steered to ``pf_id`` (failover re-steer)."""
+        return [flow for flow, rule in self._flow_table.items()
+                if rule.target == pf_id]
 
     # ------------------------------------------------------------- lookup
 

@@ -2,10 +2,46 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.nic.packet import wire_bytes
 from repro.sim.engine import Environment
 from repro.sim.resources import BandwidthServer
+from repro.sim.rng import SimRandom
 from repro.units import bytes_per_sec
+
+
+class WireImpairment:
+    """A loss/corruption episode on the wire (bad optics, a flaky cable).
+
+    Each packet in a batch is independently lost or corrupted with the
+    given probabilities, drawn from a seeded stream so episodes replay
+    identically.  Either way the packet must be retransmitted: the wire is
+    charged again for it and the batch pays one extra propagation round.
+    """
+
+    def __init__(self, rng: SimRandom, loss_probability: float = 0.0,
+                 corrupt_probability: float = 0.0):
+        for name, p in (("loss", loss_probability),
+                        ("corrupt", corrupt_probability)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} probability out of range: {p}")
+        if loss_probability + corrupt_probability > 1.0:
+            raise ValueError("loss + corrupt probability exceeds 1")
+        self.rng = rng
+        self.loss_probability = loss_probability
+        self.corrupt_probability = corrupt_probability
+
+    def losses(self, npackets: int) -> tuple:
+        """(lost, corrupted) counts for a batch of ``npackets``."""
+        lost = corrupted = 0
+        for _ in range(npackets):
+            draw = self.rng.random()
+            if draw < self.loss_probability:
+                lost += 1
+            elif draw < self.loss_probability + self.corrupt_probability:
+                corrupted += 1
+        return lost, corrupted
 
 
 class EthernetWire:
@@ -21,6 +57,28 @@ class EthernetWire:
         rate = bytes_per_sec(gigabits)
         self.a_to_b = BandwidthServer(env, rate, name="wire.a->b")
         self.b_to_a = BandwidthServer(env, rate, name="wire.b->a")
+        self._impairment: Optional[WireImpairment] = None
+        self.drops_total = 0
+        self.corruptions_total = 0
+        self.retransmitted_packets = 0
+
+    # -------------------------------------------------------- impairment
+
+    def start_impairment(self, rng: SimRandom,
+                         loss_probability: float = 0.0,
+                         corrupt_probability: float = 0.0) -> None:
+        """Begin a loss/corruption episode (both directions)."""
+        self._impairment = WireImpairment(rng, loss_probability,
+                                          corrupt_probability)
+
+    def stop_impairment(self) -> None:
+        self._impairment = None
+
+    @property
+    def is_impaired(self) -> bool:
+        return self._impairment is not None
+
+    # -------------------------------------------------------------- send
 
     def send(self, direction: str, npackets: int, payload_bytes: int) -> int:
         """Charge a packet batch; returns the wire delay in ns."""
@@ -28,7 +86,19 @@ class EthernetWire:
             raise ValueError(f"negative packet count {npackets}")
         server = self._server(direction)
         total = npackets * wire_bytes(payload_bytes)
-        return self.propagation_ns + server.account(total)
+        delay = self.propagation_ns + server.account(total)
+        if self._impairment is not None and npackets:
+            lost, corrupted = self._impairment.losses(npackets)
+            bad = lost + corrupted
+            if bad:
+                self.drops_total += lost
+                self.corruptions_total += corrupted
+                self.retransmitted_packets += bad
+                # Retransmission: the bad packets cross the wire again
+                # after one propagation round of recovery (SACK/FEC).
+                resend = bad * wire_bytes(payload_bytes)
+                delay += self.propagation_ns + server.account(resend)
+        return delay
 
     def line_rate_packets_per_sec(self, payload_bytes: int) -> float:
         """Maximum packet rate the wire sustains at this payload size."""

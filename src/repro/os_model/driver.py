@@ -9,11 +9,12 @@ remote.  The octoNIC team driver lives in :mod:`repro.core.teaming`.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.nic.device import NicDevice
 from repro.nic.packet import Flow
 from repro.nic.rings import QueueSet, RxQueue, TxQueue
+from repro.sim.errors import DeviceGoneError, DeviceTimeoutError
 from repro.topology.machine import Core, Machine
 
 
@@ -29,6 +30,8 @@ class NetDriver:
         self.queues: Optional[QueueSet] = None
         #: Count of steering updates applied (exposed for tests/metrics).
         self.steering_updates = 0
+        #: Count of backed-off retries against dead hardware.
+        self.retries = 0
 
     # -------------------------------------------------------------- API
 
@@ -37,16 +40,54 @@ class NetDriver:
         raise NotImplementedError
 
     def rx_queue_for_core(self, core: Core) -> RxQueue:
+        self._check_queues_configured()
         queue = self.queues.rx_for_core(core)
         if queue is None:
             raise LookupError(f"no Rx queue for core {core.core_id}")
         return queue
 
     def tx_queue_for_core(self, core: Core) -> TxQueue:
+        self._check_queues_configured()
         queue = self.queues.tx_for_core(core)
         if queue is None:
             raise LookupError(f"no Tx queue for core {core.core_id}")
         return queue
+
+    def _check_queues_configured(self) -> None:
+        if self.queues is None:
+            raise RuntimeError(
+                f"{type(self).__name__} ({self.name!r}) has no queues "
+                f"configured; subclasses must build a QueueSet before "
+                f"the netdev is used")
+
+    def call_with_retry(self, operation: Callable, max_attempts: int = 6,
+                        base_backoff_ns: int = 2_000):
+        """Run ``operation`` with exponential backoff on dead hardware.
+
+        A generator for use inside sim processes::
+
+            result = yield from driver.call_with_retry(
+                lambda: device.tx(queue, region, n, size))
+
+        Each :class:`DeviceGoneError` attempt backs off twice as long as
+        the previous one (the PCIe AER/hotplug recovery discipline);
+        after ``max_attempts`` failures the operation is abandoned with
+        :class:`DeviceTimeoutError`.
+        """
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        last_error: Optional[DeviceGoneError] = None
+        for attempt in range(max_attempts):
+            try:
+                return operation()
+            except DeviceGoneError as error:
+                last_error = error
+            if attempt < max_attempts - 1:
+                self.retries += 1
+                yield self.env.timeout(base_backoff_ns << attempt)
+        raise DeviceTimeoutError(
+            f"{self.name}: operation still failing after {max_attempts} "
+            f"attempts ({last_error})")
 
     def steer_rx(self, flow: Flow, core: Core, immediate: bool = False):
         """Point ``flow`` at the queue serving ``core``.

@@ -12,13 +12,18 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.sim.engine import Environment
+from repro.sim.errors import DeviceGoneError
 from repro.sim.resources import BandwidthServer
 from repro.topology.constants import PcieSpec
 from repro.topology.machine import Machine
 
 
 class PcieLink:
-    """One PF's lane bundle: independent upstream/downstream byte servers."""
+    """One PF's lane bundle: independent upstream/downstream byte servers.
+
+    A link can be *degraded* (retrained to fewer lanes — both servers run
+    at the reduced rate) and *restored* to its full width.
+    """
 
     def __init__(self, env: Environment, name: str, spec: PcieSpec,
                  lanes: int):
@@ -26,13 +31,33 @@ class PcieLink:
             raise ValueError(f"PCIe link needs >= 1 lane, got {lanes}")
         self.spec = spec
         self.lanes = lanes
+        self.active_lanes = lanes
         rate = lanes * spec.bytes_per_sec_per_lane
         self.upstream = BandwidthServer(env, rate, name=f"{name}.up")
         self.downstream = BandwidthServer(env, rate, name=f"{name}.down")
 
     @property
     def bytes_per_sec(self) -> float:
-        return self.lanes * self.spec.bytes_per_sec_per_lane
+        return self.active_lanes * self.spec.bytes_per_sec_per_lane
+
+    @property
+    def is_degraded(self) -> bool:
+        return self.active_lanes < self.lanes
+
+    def degrade(self, active_lanes: int) -> None:
+        """Retrain the link to ``active_lanes`` (fault injection)."""
+        if not 1 <= active_lanes <= self.lanes:
+            raise ValueError(
+                f"active_lanes must be in [1, {self.lanes}], "
+                f"got {active_lanes}")
+        self.active_lanes = active_lanes
+        rate = active_lanes * self.spec.bytes_per_sec_per_lane
+        self.upstream.set_rate(rate)
+        self.downstream.set_rate(rate)
+
+    def restore(self) -> None:
+        """Retrain back to the full lane width."""
+        self.degrade(self.lanes)
 
 
 class PhysicalFunction:
@@ -52,11 +77,30 @@ class PhysicalFunction:
         self.device: Optional[object] = None
         #: DMA-engine window state (see MemorySystem._dma_serialization).
         self.dma_window_free_at = 0
+        #: False after a surprise removal until the PF is recovered.
+        self.alive = True
+
+    # ------------------------------------------------------- fault state
+
+    def fail(self) -> None:
+        """Surprise-remove this endpoint: every DMA/MMIO raises until
+        :meth:`recover` is called."""
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
+
+    def _check_alive(self, operation: str) -> None:
+        if not self.alive:
+            raise DeviceGoneError(
+                f"{operation} on removed PF {self.name} "
+                f"(node {self.attach_node})")
 
     # ------------------------------------------------------------- DMA
 
     def dma_write(self, region, nbytes: int) -> int:
         """Device -> memory write through this PF; returns delay ns."""
+        self._check_alive("dma_write")
         pcie_delay = self.link.upstream.account(nbytes)
         mem_delay = self.machine.memory.dma_write(self.attach_node, region,
                                                   nbytes, engine=self)
@@ -64,6 +108,7 @@ class PhysicalFunction:
 
     def dma_read(self, region, nbytes: int) -> int:
         """Memory -> device read through this PF; returns delay ns."""
+        self._check_alive("dma_read")
         pcie_delay = self.link.downstream.account(nbytes)
         mem_delay = self.machine.memory.dma_read(self.attach_node, region,
                                                  nbytes, engine=self)
@@ -77,6 +122,7 @@ class PhysicalFunction:
         Crossing the interconnect to reach a remote PF is one of the
         nonuniform I/O interactions Fig 1 depicts.
         """
+        self._check_alive("mmio")
         latency = self.machine.spec.pcie.round_trip_ns // 2
         if from_node != self.attach_node:
             link = self.machine.interconnect.link(from_node,
@@ -87,6 +133,7 @@ class PhysicalFunction:
 
     def interrupt_latency(self, to_node: int) -> int:
         """Latency for an MSI-X message to reach a core on ``to_node``."""
+        self._check_alive("interrupt")
         latency = self.machine.spec.pcie.round_trip_ns // 2
         if to_node != self.attach_node:
             link = self.machine.interconnect.link(self.attach_node,
@@ -99,8 +146,9 @@ class PhysicalFunction:
         return self.attach_node == node
 
     def __repr__(self) -> str:
+        state = "" if self.alive else " dead"
         return (f"<PF {self.name} node={self.attach_node} "
-                f"x{self.link.lanes}>")
+                f"x{self.link.lanes}{state}>")
 
 
 def bifurcate(machine: Machine, total_lanes: int,

@@ -52,6 +52,7 @@ class SwitchedFunction(PhysicalFunction):
     def reattach(self, node: int) -> None:
         """Re-route this endpoint to another socket — the flexibility a
         fixed bifurcation cannot offer."""
+        self._check_alive("reattach")
         if not 0 <= node < self.machine.spec.num_nodes:
             raise ValueError(f"node {node} out of range")
         if node != self.attach_node:
@@ -89,6 +90,8 @@ class PcieSwitch:
         or the CPU interconnect (the switch's unique capability, §3.2)."""
         if src not in self.functions or dst not in self.functions:
             raise ValueError("both endpoints must hang off this switch")
+        src._check_alive("peer_to_peer")
+        dst._check_alive("peer_to_peer")
         up = src.link.upstream.account(nbytes)
         down = dst.link.downstream.account(nbytes)
         return 2 * self.hop_ns + max(up, down)

@@ -13,6 +13,16 @@ class AlreadyTriggeredError(SimulationError):
     """succeed()/fail() was called on an event that already fired."""
 
 
+class DeviceGoneError(SimulationError):
+    """An operation was issued against hardware that has failed or been
+    surprise-removed (dead PF, downed PCIe link)."""
+
+
+class DeviceTimeoutError(SimulationError):
+    """A driver operation exhausted its retry budget against dead
+    hardware."""
+
+
 class Interrupt(SimulationError):
     """Raised inside a process that another process interrupted.
 

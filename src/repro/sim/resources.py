@@ -177,6 +177,16 @@ class BandwidthServer:
             raise ValueError(f"negative transfer size {nbytes}")
         return int(round(nbytes * 1e9 / self.bytes_per_sec))
 
+    def set_rate(self, bytes_per_sec: float) -> None:
+        """Change the service rate (link retraining, fault throttling).
+
+        In-flight transfers keep their already-computed completion times;
+        only transfers accounted after the change see the new rate.
+        """
+        if bytes_per_sec <= 0:
+            raise ValueError(f"bytes_per_sec must be > 0, got {bytes_per_sec}")
+        self.bytes_per_sec = float(bytes_per_sec)
+
     def transfer(self, nbytes: int) -> Event:
         """Enqueue a transfer; the event fires at service completion."""
         now = self.env.now

@@ -8,6 +8,7 @@ from repro.nic.device import NicDevice
 from repro.nic.firmware import OctoFirmware, StandardFirmware
 from repro.nic.packet import Flow
 from repro.pcie.fabric import bifurcate
+from repro.sim.errors import DeviceGoneError
 from repro.topology import dell_r730
 
 
@@ -98,3 +99,100 @@ def test_expiry_worker_cannot_start_twice():
     driver.start_expiry_worker()
     with pytest.raises(RuntimeError):
         driver.start_expiry_worker()
+
+
+def test_allow_degraded_runs_missing_node_through_remote_pf():
+    machine = dell_r730()
+    pfs = bifurcate(machine, 16, [0])
+    device = NicDevice(machine, pfs, OctoFirmware(1))
+    driver = OctoTeamDriver(machine, device, allow_degraded=True)
+    for core in machine.cores_on_node(1):
+        assert driver.rx_queue_for_core(core).pf is device.pf(0)
+
+
+def test_pf_failure_rebinds_queues_to_survivor():
+    testbed = Testbed("ioctopus")
+    driver = testbed.server.driver
+    nic = testbed.server.nic
+    nic.surprise_remove(1)
+    for queue in driver.queues.rx + driver.queues.tx:
+        assert queue.pf is nic.pf(0)
+    assert nic.firmware._default_queues[1] == []
+    assert len(nic.firmware._default_queues[0]) == len(driver.queues.rx)
+
+
+def test_pf_failure_resteers_rules_after_drain():
+    testbed = Testbed("ioctopus")
+    driver = testbed.server.driver
+    firmware = testbed.server.nic.firmware
+    core = testbed.server.machine.cores_on_node(1)[0]
+    flow = Flow.make(0)
+    driver.steer_rx(flow, core, immediate=True)
+    queue = driver.rx_queue_for_core(core)
+    queue.outstanding = 500  # force a visible drain window
+    testbed.server.nic.surprise_remove(1)
+    # Deferred: the rule still sits in PF1's tables until the drain.
+    assert firmware.arfs[1].lookup(flow) is not None
+    assert firmware.mpfs.current_pf(flow) == 1
+    testbed.run(testbed.env.now + 10_000_000)
+    assert firmware.arfs[1].lookup(flow) is None
+    assert firmware.arfs[0].lookup(flow) is queue
+    assert firmware.mpfs.current_pf(flow) == 0
+    assert driver.failovers == 1
+
+
+def test_mpfs_hardware_failover_covers_drain_window():
+    # Until the deferred rule move applies, steer_rx must already fall
+    # back to the surviving PF: the dead PF cannot receive anything.
+    testbed = Testbed("ioctopus")
+    driver = testbed.server.driver
+    firmware = testbed.server.nic.firmware
+    core = testbed.server.machine.cores_on_node(1)[0]
+    driver.steer_rx(Flow.make(0), core, immediate=True)
+    driver.rx_queue_for_core(core).outstanding = 500
+    testbed.server.nic.surprise_remove(1)
+    pf_id, _ = firmware.steer_rx(Flow.make(0), OctoFirmware.MAC)
+    assert pf_id == 0
+
+
+def test_pf_recovery_rehomes_queues_and_rules():
+    testbed = Testbed("ioctopus")
+    driver = testbed.server.driver
+    nic = testbed.server.nic
+    firmware = nic.firmware
+    core = testbed.server.machine.cores_on_node(1)[0]
+    flow = Flow.make(0)
+    driver.steer_rx(flow, core, immediate=True)
+    nic.surprise_remove(1)
+    testbed.run(testbed.env.now + 10_000_000)  # failover settles
+    nic.recover_pf(1)
+    for queue in driver.queues.rx + driver.queues.tx:
+        assert queue.pf.attach_node == queue.core.node_id
+    testbed.run(testbed.env.now + 10_000_000)  # recovery re-steer settles
+    assert firmware.arfs[0].lookup(flow) is None
+    assert firmware.arfs[1].lookup(flow) is driver.rx_queue_for_core(core)
+    assert firmware.mpfs.current_pf(flow) == 1
+    assert driver.failovers == 1
+    assert driver.recoveries == 1
+
+
+def test_losing_every_pf_downs_the_netdev_without_raising():
+    testbed = Testbed("ioctopus")
+    driver = testbed.server.driver
+    nic = testbed.server.nic
+    nic.surprise_remove(1)
+    nic.surprise_remove(0)  # last PF: nothing left to fail over to
+    testbed.run(testbed.env.now + 10_000_000)
+    assert driver.failovers == 1  # the second failure had no fallback
+    with pytest.raises(DeviceGoneError):
+        nic.firmware.steer_rx(Flow.make(0), OctoFirmware.MAC)
+
+
+def test_expiry_worker_counts_expired_rules():
+    testbed = Testbed("ioctopus")
+    driver = testbed.server.driver
+    driver.steer_rx(Flow.make(0), testbed.server_core(0), immediate=True)
+    driver.steer_rx(Flow.make(1), testbed.server_core(1), immediate=True)
+    driver.start_expiry_worker(period_ns=50_000_000, idle_ns=100_000_000)
+    testbed.run(400_000_000)
+    assert driver.rules_expired == 2

@@ -1,0 +1,90 @@
+"""End-to-end PF failover: the octoNIC degrades gracefully, never dies."""
+
+import pytest
+
+from repro.core import Testbed
+from repro.experiments.fig_failover import SAMPLE_NS, run_failover
+from repro.nic.packet import Flow
+from repro.units import KB
+from repro.workloads.netperf import TcpStream
+
+DURATION_NS = 600_000_000
+FAIL_AT_NS = 200_000_000
+RECOVER_AT_NS = 400_000_000
+
+
+@pytest.fixture(scope="module")
+def failover_run():
+    return run_failover(DURATION_NS, FAIL_AT_NS, RECOVER_AT_NS, seed=0)
+
+
+def remote_baseline_gbps(seed=0):
+    """Steady-state throughput when DMA must cross the interconnect."""
+    testbed = Testbed("remote", seed=seed)
+    workload = TcpStream(testbed.server, testbed.server_core(0),
+                         Flow.make(0), 64 * KB, "rx",
+                         duration_ns=DURATION_NS)
+    testbed.run(DURATION_NS + 50_000_000)
+    return workload.throughput_gbps()
+
+
+def test_failover_completes_without_raising(failover_run):
+    assert failover_run.workload.meter.messages_total > 0
+    assert failover_run.team.failovers == 1
+    assert failover_run.team.recoveries == 1
+
+
+def test_traffic_hands_off_between_pfs(failover_run):
+    pf0, pf1 = failover_run.series["pf0"], failover_run.series["pf1"]
+    # Before the fault all Rx lands on PF1 (local to socket 1).
+    assert pf1.mean(SAMPLE_NS, FAIL_AT_NS) > 20.0
+    assert pf0.mean(SAMPLE_NS, FAIL_AT_NS) == pytest.approx(0.0)
+    # During the outage PF0 carries everything.
+    assert pf0.mean(FAIL_AT_NS + SAMPLE_NS, RECOVER_AT_NS) > 15.0
+    assert pf1.mean(FAIL_AT_NS + SAMPLE_NS,
+                    RECOVER_AT_NS) == pytest.approx(0.0)
+    # After recovery traffic returns to PF1.
+    assert pf1.mean(RECOVER_AT_NS + SAMPLE_NS) > 20.0
+
+
+def test_degraded_throughput_matches_remote_dma(failover_run):
+    degraded = failover_run.series["pf0"].mean(FAIL_AT_NS + SAMPLE_NS,
+                                               RECOVER_AT_NS)
+    remote = remote_baseline_gbps()
+    # Losing the local PF costs exactly the locality advantage: the
+    # fallback path is nonuniform DMA, not a broken netdev.
+    assert degraded == pytest.approx(remote, rel=0.05)
+
+
+def test_recovery_restores_prefault_throughput(failover_run):
+    pre = failover_run.series["pf1"].mean(SAMPLE_NS, FAIL_AT_NS)
+    post = failover_run.series["pf1"].mean(RECOVER_AT_NS + SAMPLE_NS)
+    assert post == pytest.approx(pre, rel=0.05)
+
+
+def test_same_seed_runs_are_byte_identical():
+    a = run_failover(300_000_000, 100_000_000, 200_000_000, seed=7)
+    b = run_failover(300_000_000, 100_000_000, 200_000_000, seed=7)
+    assert a.trace == b.trace
+    assert a.trace  # non-empty: faults and recoveries were recorded
+    assert a.series["pf0"].values == b.series["pf0"].values
+    assert a.series["pf1"].values == b.series["pf1"].values
+
+
+def test_trace_contains_fault_and_recovery_markers(failover_run):
+    joined = "\n".join(failover_run.trace)
+    assert "fault.pf_down" in joined
+    assert "recover.pf_down" in joined
+    assert "failover.begin" in joined
+    assert "failover.applied" in joined
+    assert "recovery.applied" in joined
+
+
+def test_permanent_failure_stays_degraded():
+    run = run_failover(300_000_000, fail_at_ns=100_000_000, seed=0)
+    pf0 = run.series["pf0"]
+    assert pf0.mean(100_000_000 + SAMPLE_NS) > 15.0
+    assert run.series["pf1"].mean(100_000_000 + SAMPLE_NS) == \
+        pytest.approx(0.0)
+    assert run.team.failovers == 1
+    assert run.team.recoveries == 0

@@ -1,0 +1,99 @@
+"""Tests for declarative fault plans."""
+
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.sim.rng import SimRandom
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        FaultSpec("meteor_strike", at_ns=0)
+
+
+def test_negative_time_rejected():
+    with pytest.raises(ValueError):
+        FaultSpec("pf_down", at_ns=-1, pf_id=0)
+
+
+def test_zero_duration_rejected():
+    with pytest.raises(ValueError):
+        FaultSpec("pf_down", at_ns=0, duration_ns=0, pf_id=0)
+
+
+def test_pf_faults_need_pf_id():
+    for kind in ("pf_down", "pcie_link_down", "pcie_degrade"):
+        with pytest.raises(ValueError):
+            FaultSpec(kind, at_ns=0)
+
+
+def test_degrade_needs_lanes():
+    with pytest.raises(ValueError):
+        FaultSpec("pcie_degrade", at_ns=0, pf_id=0)
+    FaultSpec("pcie_degrade", at_ns=0, pf_id=0, lanes=4)
+
+
+def test_wire_loss_needs_probability():
+    with pytest.raises(ValueError):
+        FaultSpec("wire_loss", at_ns=0)
+    FaultSpec("wire_loss", at_ns=0, loss_probability=0.01)
+
+
+def test_qpi_throttle_validation():
+    with pytest.raises(ValueError):
+        FaultSpec("qpi_throttle", at_ns=0, src_node=0, dst_node=1)
+    with pytest.raises(ValueError):
+        FaultSpec("qpi_throttle", at_ns=0, src_node=0, dst_node=1,
+                  throttle_factor=1.5)
+    FaultSpec("qpi_throttle", at_ns=0, src_node=0, dst_node=1,
+              throttle_factor=0.5)
+
+
+def test_transient_vs_permanent():
+    permanent = FaultSpec("pf_down", at_ns=10, pf_id=0)
+    transient = FaultSpec("pf_down", at_ns=10, duration_ns=5, pf_id=0)
+    assert not permanent.is_transient and permanent.ends_at_ns is None
+    assert transient.is_transient and transient.ends_at_ns == 15
+
+
+def test_plan_orders_by_time():
+    plan = FaultPlan()
+    plan.add(FaultSpec("pf_down", at_ns=300, pf_id=0))
+    plan.add(FaultSpec("pf_down", at_ns=100, pf_id=1))
+    plan.add(FaultSpec("wire_loss", at_ns=200, loss_probability=0.1))
+    assert [s.at_ns for s in plan.ordered()] == [100, 200, 300]
+    assert len(plan) == 3
+
+
+def test_plan_ties_keep_insertion_order():
+    first = FaultSpec("pf_down", at_ns=50, pf_id=0)
+    second = FaultSpec("pf_down", at_ns=50, pf_id=1)
+    plan = FaultPlan().add(first).add(second)
+    assert plan.ordered() == [first, second]
+
+
+def test_random_plan_is_reproducible():
+    a = FaultPlan.random(SimRandom(42), horizon_ns=10**9, count=8)
+    b = FaultPlan.random(SimRandom(42), horizon_ns=10**9, count=8)
+    assert a.describe() == b.describe()
+    assert len(a) == 8
+
+
+def test_random_plan_varies_with_seed():
+    a = FaultPlan.random(SimRandom(1), horizon_ns=10**9, count=8)
+    b = FaultPlan.random(SimRandom(2), horizon_ns=10**9, count=8)
+    assert a.describe() != b.describe()
+
+
+def test_random_plan_specs_are_valid():
+    plan = FaultPlan.random(SimRandom(7), horizon_ns=10**9, count=32)
+    for spec in plan:
+        assert spec.kind in FAULT_KINDS
+        assert 0 <= spec.at_ns < 10**9
+        assert spec.duration_ns >= 1
+
+
+def test_random_plan_rejects_throttle_on_single_node():
+    with pytest.raises(ValueError):
+        FaultPlan.random(SimRandom(0), horizon_ns=10**6, count=1,
+                         kinds=("qpi_throttle",), num_nodes=1)

@@ -71,3 +71,30 @@ def test_invalid_node_count():
     with pytest.raises(ValueError):
         Interconnect(Environment(), num_nodes=0,
                      bytes_per_sec_per_direction=1e9, crossing_latency_ns=1)
+
+
+def test_throttle_reduces_rate_and_estimates(qpi):
+    link = qpi.link(0, 1)
+    base = link.server.bytes_per_sec
+    link.throttle(0.5)
+    assert link.is_throttled
+    assert link.server.bytes_per_sec == pytest.approx(base * 0.5)
+    assert link.estimator.bytes_per_sec == pytest.approx(base * 0.5)
+    link.unthrottle()
+    assert not link.is_throttled
+    assert link.server.bytes_per_sec == pytest.approx(base)
+
+
+def test_throttled_crossing_is_slower(qpi):
+    fast = qpi.traverse(0, 1, 28_000)
+    qpi.link(0, 1).throttle(0.25)
+    slow = qpi.traverse(0, 1, 28_000)
+    assert slow > fast
+
+
+def test_throttle_validates_factor(qpi):
+    link = qpi.link(0, 1)
+    with pytest.raises(ValueError):
+        link.throttle(0.0)
+    with pytest.raises(ValueError):
+        link.throttle(1.5)

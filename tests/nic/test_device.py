@@ -134,3 +134,52 @@ def test_pf_window_throughput(machine):
     machine.env._now = 100_000  # 125000 B in 100 us => 10 Gb/s
     assert device.pf_window_rx_gbps(0) == pytest.approx(10.0, rel=0.01)
     assert device.pf_window_rx_gbps(1) == 0.0
+
+
+def test_rx_deliver_validates_payload_bytes(machine):
+    device = make_octonic(machine)
+    device.firmware.register_default_queues(0, ["q"])
+    with pytest.raises(ValueError):
+        device.rx_deliver(Flow.make(0), OctoFirmware.MAC, 1, 0)
+    with pytest.raises(ValueError):
+        device.rx_deliver(Flow.make(0), OctoFirmware.MAC, 1, -100)
+
+
+def test_tx_validates_payload_bytes(machine):
+    device = make_octonic(machine)
+    core0 = machine.cores_on_node(0)[0]
+    queue = TxQueue(0, core0, machine, pf=device.pf(0))
+    with pytest.raises(ValueError):
+        device.tx(queue, queue.skbs, 1, 0)
+
+
+def test_surprise_remove_and_recover(machine):
+    device = make_octonic(machine)
+    assert [pf.pf_id for pf in device.alive_pfs] == [0, 1]
+    device.surprise_remove(1)
+    assert not device.pf_alive(1)
+    assert [pf.pf_id for pf in device.alive_pfs] == [0]
+    assert not device.firmware.pf_alive(1)
+    device.recover_pf(1)
+    assert device.pf_alive(1)
+    assert device.firmware.pf_alive(1)
+
+
+def test_surprise_remove_twice_rejected(machine):
+    device = make_octonic(machine)
+    device.surprise_remove(0)
+    with pytest.raises(ValueError):
+        device.surprise_remove(0)
+    with pytest.raises(ValueError):
+        device.recover_pf(1)  # PF1 was never removed
+
+
+def test_pf_listeners_fire_in_order(machine):
+    device = make_octonic(machine)
+    calls = []
+    device.add_pf_listener(
+        on_failure=lambda pf: calls.append(("down", pf.pf_id)),
+        on_recovery=lambda pf: calls.append(("up", pf.pf_id)))
+    device.surprise_remove(1)
+    device.recover_pf(1)
+    assert calls == [("down", 1), ("up", 1)]

@@ -45,3 +45,56 @@ def test_wire_rejects_bad_args():
         wire.send("sideways", 1, 100)
     with pytest.raises(ValueError):
         wire.send("a_to_b", -1, 100)
+
+
+def test_impairment_validates_probabilities():
+    from repro.nic.wire import WireImpairment
+    from repro.sim.rng import SimRandom
+    rng = SimRandom(0)
+    with pytest.raises(ValueError):
+        WireImpairment(rng, loss_probability=1.5)
+    with pytest.raises(ValueError):
+        WireImpairment(rng, corrupt_probability=-0.1)
+    with pytest.raises(ValueError):
+        WireImpairment(rng, loss_probability=0.6, corrupt_probability=0.6)
+
+
+def test_impairment_losses_are_seed_deterministic():
+    from repro.nic.wire import WireImpairment
+    from repro.sim.rng import SimRandom
+    a = WireImpairment(SimRandom(5), loss_probability=0.3,
+                       corrupt_probability=0.1)
+    b = WireImpairment(SimRandom(5), loss_probability=0.3,
+                       corrupt_probability=0.1)
+    assert [a.losses(100) for _ in range(5)] == \
+        [b.losses(100) for _ in range(5)]
+
+
+def test_impaired_wire_charges_retransmits():
+    from repro.sim.rng import SimRandom
+    env = Environment()
+    clean = EthernetWire(env, gigabits=100)
+    clean_delay = clean.send("a_to_b", 1000, 1500)
+
+    lossy = EthernetWire(Environment(), gigabits=100)
+    lossy.start_impairment(SimRandom(1), loss_probability=0.2)
+    lossy_delay = lossy.send("a_to_b", 1000, 1500)
+    assert lossy.drops_total > 0
+    assert lossy.retransmitted_packets == \
+        lossy.drops_total + lossy.corruptions_total
+    # Retransmitted bytes plus one extra propagation round cost time.
+    assert lossy_delay > clean_delay
+
+
+def test_stop_impairment_restores_clean_wire():
+    from repro.sim.rng import SimRandom
+    wire = EthernetWire(Environment(), gigabits=100)
+    wire.start_impairment(SimRandom(2), loss_probability=0.5)
+    assert wire.is_impaired
+    wire.send("a_to_b", 100, 1500)
+    dropped = wire.drops_total
+    assert dropped > 0
+    wire.stop_impairment()
+    assert not wire.is_impaired
+    wire.send("a_to_b", 100, 1500)
+    assert wire.drops_total == dropped

@@ -84,3 +84,73 @@ def test_queue_drained_flag():
     assert queue.is_drained()
     queue.outstanding = 5
     assert not queue.is_drained()
+
+
+def test_unconfigured_driver_gives_clear_error():
+    from repro.os_model.driver import NetDriver
+    testbed = Testbed("local")
+    bare = NetDriver(testbed.server.machine, testbed.server.nic)
+    core = testbed.server_core(0)
+    with pytest.raises(RuntimeError, match="no queues configured"):
+        bare.rx_queue_for_core(core)
+    with pytest.raises(RuntimeError, match="no queues configured"):
+        bare.tx_queue_for_core(core)
+
+
+def test_call_with_retry_succeeds_after_transient_failure():
+    from repro.sim.errors import DeviceGoneError
+    testbed = Testbed("local")
+    driver = testbed.server.driver
+    attempts = []
+
+    def flaky():
+        attempts.append(testbed.env.now)
+        if len(attempts) < 3:
+            raise DeviceGoneError("gone")
+        return "ok"
+
+    outcome = {}
+
+    def body():
+        outcome["result"] = yield from driver.call_with_retry(
+            flaky, base_backoff_ns=2_000)
+
+    testbed.env.process(body(), name="retry-test")
+    testbed.run(1_000_000)
+    assert outcome["result"] == "ok"
+    assert driver.retries == 2
+    # Exponential backoff: 2 us after the first failure, 4 us after the
+    # second.
+    assert attempts == [0, 2_000, 6_000]
+
+
+def test_call_with_retry_gives_up_with_timeout_error():
+    from repro.sim.errors import DeviceGoneError, DeviceTimeoutError
+
+    testbed = Testbed("local")
+    driver = testbed.server.driver
+
+    def always_dead():
+        raise DeviceGoneError("still gone")
+
+    failures = {}
+
+    def body():
+        try:
+            yield from driver.call_with_retry(always_dead, max_attempts=3)
+        except DeviceTimeoutError as error:
+            failures["error"] = error
+            failures["at"] = testbed.env.now
+
+    testbed.env.process(body(), name="retry-timeout-test")
+    testbed.run(1_000_000)
+    assert "still gone" in str(failures["error"])
+    assert failures["at"] == 2_000 + 4_000  # two backoffs, then give up
+    assert driver.retries == 2
+
+
+def test_call_with_retry_rejects_bad_max_attempts():
+    testbed = Testbed("local")
+    with pytest.raises(ValueError):
+        list(testbed.server.driver.call_with_retry(lambda: 1,
+                                                   max_attempts=0))

@@ -82,3 +82,44 @@ def test_is_local_to(machine):
 def test_zero_lane_link_rejected(machine):
     with pytest.raises(ValueError):
         PhysicalFunction(machine, 0, attach_node=0, lanes=0)
+
+
+def test_link_degrade_and_restore(machine):
+    (pf,) = bifurcate(machine, 16, [0])
+    full = pf.link.bytes_per_sec
+    pf.link.degrade(active_lanes=4)
+    assert pf.link.is_degraded
+    assert pf.link.active_lanes == 4
+    assert pf.link.bytes_per_sec == pytest.approx(full / 4)
+    assert pf.link.upstream.bytes_per_sec == pytest.approx(full / 4)
+    pf.link.restore()
+    assert not pf.link.is_degraded
+    assert pf.link.bytes_per_sec == pytest.approx(full)
+
+
+def test_link_degrade_validates_lanes(machine):
+    (pf,) = bifurcate(machine, 16, [0])
+    with pytest.raises(ValueError):
+        pf.link.degrade(active_lanes=0)
+    with pytest.raises(ValueError):
+        pf.link.degrade(active_lanes=17)
+
+
+def test_dead_pf_rejects_all_operations(machine):
+    from repro.sim.errors import DeviceGoneError
+    (pf,) = bifurcate(machine, 16, [0])
+    ring = machine.alloc_region("ring", 0, 8192)
+    pf.fail()
+    assert not pf.alive
+    assert "dead" in repr(pf)
+    with pytest.raises(DeviceGoneError):
+        pf.dma_write(ring, 64)
+    with pytest.raises(DeviceGoneError):
+        pf.dma_read(ring, 64)
+    with pytest.raises(DeviceGoneError):
+        pf.mmio_latency(0)
+    with pytest.raises(DeviceGoneError):
+        pf.interrupt_latency(0)
+    pf.recover()
+    assert pf.alive
+    pf.dma_write(ring, 64)  # works again
