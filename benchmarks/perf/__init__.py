@@ -1,0 +1,1 @@
+"""Perf-regression harness package (see harness.py and tools/bench.py)."""

@@ -1,0 +1,166 @@
+"""Perf-regression harness: events/sec and wall-clock per figure.
+
+Two layers of measurement:
+
+* **Engine benches** run one simulation point in-process with direct
+  access to the event loop, reporting the processed-event count (which is
+  deterministic — same seed, same code, same count) and the resulting
+  events/sec.  This is the simulator-throughput figure of merit the
+  kernel fast paths optimise.
+* **Figure benches** time whole experiment sweeps (fig06/fig08) through
+  the sweep executor, serial and with ``--jobs N`` workers, reporting the
+  wall-clock and the parallel speedup.
+
+:func:`run_bench` produces a JSON-serialisable report; ``tools/bench.py``
+writes it as ``BENCH_<date>.json`` and :func:`check_regression` gates a
+report against a committed baseline, failing on a >20% drop in events/sec
+or growth in serial figure wall-clock.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from typing import Dict, List
+
+from repro.core.configurations import Testbed
+from repro.experiments import get_experiment, sweep
+from repro.experiments.runners import warmup_of
+from repro.nic.packet import Flow
+from repro.workloads.netperf import TcpStream
+from repro.workloads.pktgen import Pktgen
+
+#: Figures whose sweep wall-clock the harness tracks.
+FIGURES = ("fig06", "fig08")
+
+#: Regression gate: fail when events/sec drops, or serial wall-clock
+#: grows, by more than this fraction vs the baseline.
+THRESHOLD = 0.20
+
+#: Simulated ns per engine bench point.  Fixed (not fidelity-scaled): the
+#: quick figure sweeps already give a fast smoke signal, while the engine
+#: events/sec number needs a long enough run to be stable under a
+#: regression threshold.
+ENGINE_DURATION_NS = 200_000_000
+
+
+def bench_engine_point(kind: str, config: str, duration_ns: int,
+                       repeats: int = 3) -> Dict:
+    """One single-process point with direct event-loop access.
+
+    The event count is deterministic (same seed, same code); the wall
+    clock is best-of-``repeats`` to damp scheduler noise.
+    """
+    events = 0
+    wall = float("inf")
+    for _ in range(repeats):
+        testbed = Testbed(config, seed=0)
+        warmup = warmup_of(duration_ns)
+        if kind == "pktgen":
+            Pktgen(testbed.server, testbed.server_core(0), 256,
+                   duration_ns, warmup)
+        elif kind == "tcp_rx":
+            TcpStream(testbed.server, testbed.server_core(0),
+                      Flow.make(0), 4096, "rx", duration_ns, warmup)
+        else:
+            raise ValueError(f"unknown engine bench kind {kind!r}")
+        start = time.perf_counter()
+        testbed.run(duration_ns + duration_ns // 5)
+        elapsed = time.perf_counter() - start
+        events = testbed.env.events_processed
+        if elapsed < wall:
+            wall = elapsed
+    return {
+        "events": events,
+        "wall_s": round(wall, 4),
+        "events_per_sec": int(events / wall) if wall else 0,
+    }
+
+
+def bench_figure(name: str, fidelity: str, jobs: int) -> float:
+    """Wall-clock seconds of one full figure sweep at ``jobs`` workers."""
+    previous = sweep.current_jobs()
+    sweep.configure(jobs=jobs)
+    try:
+        start = time.perf_counter()
+        get_experiment(name).run(fidelity)
+        return time.perf_counter() - start
+    finally:
+        sweep.configure(jobs=previous)
+
+
+def run_bench(fidelity: str = "quick", jobs: int = 4) -> Dict:
+    """The full harness: engine benches plus serial/parallel figure
+    sweeps.  Returns the JSON-serialisable report."""
+    engine = {
+        "pktgen_remote": bench_engine_point("pktgen", "remote",
+                                            ENGINE_DURATION_NS),
+        "tcp_rx_ioctopus": bench_engine_point("tcp_rx", "ioctopus",
+                                              ENGINE_DURATION_NS),
+    }
+    figures = {}
+    for name in FIGURES:
+        serial = bench_figure(name, fidelity, 1)
+        parallel = bench_figure(name, fidelity, jobs)
+        figures[name] = {
+            "serial_s": round(serial, 4),
+            "parallel_s": round(parallel, 4),
+            "speedup": round(serial / parallel, 2) if parallel else 0.0,
+        }
+    sweep.shutdown_pool()
+    return {
+        "date": time.strftime("%Y-%m-%d"),
+        "fidelity": fidelity,
+        "jobs": jobs,
+        "host": {
+            "cpus": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "engine": engine,
+        "figures": figures,
+    }
+
+
+def check_regression(current: Dict, baseline: Dict,
+                     threshold: float = THRESHOLD) -> List[str]:
+    """Compare a report against a baseline; returns failure messages
+    (empty list = no regression beyond ``threshold``)."""
+    failures = []
+    for name, base in baseline.get("engine", {}).items():
+        now = current.get("engine", {}).get(name)
+        if now is None:
+            failures.append(f"engine bench {name!r} missing from report")
+            continue
+        floor = base["events_per_sec"] * (1.0 - threshold)
+        if now["events_per_sec"] < floor:
+            failures.append(
+                f"engine {name}: {now['events_per_sec']} events/s < "
+                f"{floor:.0f} (baseline {base['events_per_sec']} "
+                f"- {threshold:.0%})")
+    for name, base in baseline.get("figures", {}).items():
+        now = current.get("figures", {}).get(name)
+        if now is None:
+            failures.append(f"figure bench {name!r} missing from report")
+            continue
+        ceiling = base["serial_s"] * (1.0 + threshold)
+        if now["serial_s"] > ceiling:
+            failures.append(
+                f"figure {name}: serial {now['serial_s']}s > "
+                f"{ceiling:.3f}s (baseline {base['serial_s']}s "
+                f"+ {threshold:.0%})")
+    return failures
+
+
+def format_report(report: Dict) -> str:
+    lines = [f"bench {report['date']}  fidelity={report['fidelity']}  "
+             f"jobs={report['jobs']}  cpus={report['host']['cpus']}"]
+    for name, point in report["engine"].items():
+        lines.append(f"  engine {name:18s} {point['events']:>9d} events  "
+                     f"{point['wall_s']:>7.3f}s  "
+                     f"{point['events_per_sec']:>8d} ev/s")
+    for name, fig in report["figures"].items():
+        lines.append(f"  figure {name:18s} serial {fig['serial_s']:.3f}s  "
+                     f"jobs={report['jobs']} {fig['parallel_s']:.3f}s  "
+                     f"speedup {fig['speedup']:.2f}x")
+    return "\n".join(lines)

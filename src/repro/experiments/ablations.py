@@ -129,14 +129,19 @@ class AblOctoSsd(Experiment):
         result = self.result(
             ["streams", "single_port_norm", "octossd_norm"],
             notes="normalised to each arrangement running alone")
-        base_std = run_fio_point(0, duration)["fio_gbps"]
-        base_octo = run_fio_point(0, duration, octo_mode=True)["fio_gbps"]
-        for streams in (0, 3, 5, 10):
-            std = run_fio_point(streams, duration)["fio_gbps"]
-            octo = run_fio_point(streams, duration,
-                                 octo_mode=True)["fio_gbps"]
-            result.add(streams, round(std / base_std, 2),
-                       round(octo / base_octo, 2))
+        stream_counts = (0, 3, 5, 10)
+        runs = self.sweep(run_fio_point, [
+            dict(n_streams=streams, duration_ns=duration,
+                 octo_mode=octo_mode)
+            for streams in stream_counts for octo_mode in (False, True)])
+        # stream_counts starts at 0, so the unloaded baselines are the
+        # first pair (deterministic: same points, same metrics).
+        base_std = runs[0]["fio_gbps"]
+        base_octo = runs[1]["fio_gbps"]
+        for i, streams in enumerate(stream_counts):
+            std, octo = runs[2 * i:2 * i + 2]
+            result.add(streams, round(std["fio_gbps"] / base_std, 2),
+                       round(octo["fio_gbps"] / base_octo, 2))
         return result
 
 

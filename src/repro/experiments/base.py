@@ -74,6 +74,13 @@ class Experiment:
         return ExperimentResult(self.name, self.paper_ref, headers,
                                 notes=notes)
 
+    def sweep(self, fn: Callable, points: Sequence[Dict]) -> List:
+        """Run the figure's independent points through the sweep executor
+        (parallel across --jobs workers, disk-cached when configured);
+        results come back in submission order."""
+        from repro.experiments.sweep import sweep_map
+        return sweep_map(fn, points)
+
 
 _REGISTRY: Dict[str, Callable[[], Experiment]] = {}
 

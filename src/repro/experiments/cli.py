@@ -34,11 +34,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--report", action="store_true",
                         help="emit a markdown report (tables + claim "
                              "verdicts) instead of plain tables")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="run independent sweep points across N "
+                             "worker processes (default: serial)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache finished sweep points in DIR, keyed "
+                             "by code+parameter hash")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.jobs is not None or args.cache_dir is not None:
+        from repro.experiments.sweep import configure
+        configure(jobs=args.jobs, cache_dir=args.cache_dir)
     if args.list:
         for name in all_experiment_names():
             experiment = get_experiment(name)

@@ -24,10 +24,13 @@ class Fig06TcpRx(Experiment):
              "remote_membw_gbps", "ioct_cpu", "remote_cpu"],
             notes="paper: ratio grows ~1.08 -> ~1.26 with size; remote "
                   "membw ~3x its throughput; both CPU-bound")
-        for msg in MESSAGE_SIZES:
-            ioct = run_tcp_stream("ioctopus", msg, "rx", duration)
-            local = run_tcp_stream("local", msg, "rx", duration)
-            remote = run_tcp_stream("remote", msg, "rx", duration)
+        configs = ("ioctopus", "local", "remote")
+        runs = self.sweep(run_tcp_stream, [
+            dict(config=config, message_bytes=msg, direction="rx",
+                 duration_ns=duration)
+            for msg in MESSAGE_SIZES for config in configs])
+        for i, msg in enumerate(MESSAGE_SIZES):
+            ioct, local, remote = runs[3 * i:3 * i + 3]
             result.add(
                 msg,
                 round(ioct["throughput_gbps"], 2),

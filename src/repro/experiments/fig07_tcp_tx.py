@@ -25,10 +25,13 @@ class Fig07TcpTx(Experiment):
             notes="paper: DMA reads are served without invalidation, so "
                   "placements tie; remote membw == throughput (parallel "
                   "DRAM probe)")
-        for msg in MESSAGE_SIZES:
-            ioct = run_tcp_stream("ioctopus", msg, "tx", duration)
-            local = run_tcp_stream("local", msg, "tx", duration)
-            remote = run_tcp_stream("remote", msg, "tx", duration)
+        configs = ("ioctopus", "local", "remote")
+        runs = self.sweep(run_tcp_stream, [
+            dict(config=config, message_bytes=msg, direction="tx",
+                 duration_ns=duration)
+            for msg in MESSAGE_SIZES for config in configs])
+        for i, msg in enumerate(MESSAGE_SIZES):
+            ioct, local, remote = runs[3 * i:3 * i + 3]
             tput = remote["throughput_gbps"]
             result.add(
                 msg,

@@ -25,9 +25,11 @@ class Fig08Pktgen(Experiment):
              "remote_membw_gbps"],
             notes="paper: ratio 1.30-1.39; 4.1 vs 3.08 Mpps; DDIO keeps "
                   "local membw ~0")
-        for pkt in PACKET_SIZES:
-            ioct = run_pktgen("ioctopus", pkt, duration)
-            remote = run_pktgen("remote", pkt, duration)
+        runs = self.sweep(run_pktgen, [
+            dict(config=config, packet_bytes=pkt, duration_ns=duration)
+            for pkt in PACKET_SIZES for config in ("ioctopus", "remote")])
+        for i, pkt in enumerate(PACKET_SIZES):
+            ioct, remote = runs[2 * i:2 * i + 2]
             result.add(
                 pkt,
                 round(ioct["throughput_gbps"], 2),

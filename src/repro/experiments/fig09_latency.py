@@ -23,10 +23,15 @@ class Fig09Latency(Experiment):
              "rr_over_ll", "llnd_over_ll"],
             notes="ll/rr: both sides local/remote; nd: DDIO disabled in "
                   "hardware on both sides")
-        for msg in MESSAGE_SIZES:
-            ll = run_tcp_rr("local", "local", True, msg, duration)
-            rr = run_tcp_rr("remote", "remote", True, msg, duration)
-            llnd = run_tcp_rr("local", "local", False, msg, duration)
+        variants = (("local", "local", True), ("remote", "remote", True),
+                    ("local", "local", False))
+        runs = self.sweep(run_tcp_rr, [
+            dict(server_config=server, client_config=client, ddio=ddio,
+                 message_bytes=msg, duration_ns=duration)
+            for msg in MESSAGE_SIZES
+            for server, client, ddio in variants])
+        for i, msg in enumerate(MESSAGE_SIZES):
+            ll, rr, llnd = runs[3 * i:3 * i + 3]
             result.add(
                 msg,
                 round(ll / 1000, 2),

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from repro.core.configurations import Testbed
 from repro.experiments.base import Experiment, ExperimentResult, register
-from repro.experiments.runners import MembwProbe, warmup_of
+from repro.experiments.runners import (MembwProbe, run_with_slack,
+                                       warmup_of)
 from repro.workloads.memcached import MemcachedServer
 
 SET_RATIOS = [0.0, 0.25, 0.5, 0.75, 1.0]
@@ -21,7 +22,7 @@ def run_memcached(config: str, set_fraction: float,
     server = MemcachedServer(host, cores, set_fraction, duration_ns,
                              warmup_of(duration_ns))
     probe = MembwProbe(testbed, duration_ns)
-    testbed.run(duration_ns + duration_ns // 5)
+    run_with_slack(testbed, duration_ns)
     return {
         "ktps": server.transactions_ktps(),
         "membw_gbps": probe.gbps,
@@ -43,9 +44,11 @@ class Fig10Memcached(Experiment):
              "ioct_membw_gbps", "remote_membw_gbps"],
             notes="paper: advantage grows to ~1.16x at 100% SET; remote "
                   "uses more memory bandwidth")
-        for ratio in SET_RATIOS:
-            ioct = run_memcached("ioctopus", ratio, duration)
-            remote = run_memcached("remote", ratio, duration)
+        runs = self.sweep(run_memcached, [
+            dict(config=config, set_fraction=ratio, duration_ns=duration)
+            for ratio in SET_RATIOS for config in ("ioctopus", "remote")])
+        for i, ratio in enumerate(SET_RATIOS):
+            ioct, remote = runs[2 * i:2 * i + 2]
             result.add(
                 int(ratio * 100),
                 round(ioct["ktps"], 2),

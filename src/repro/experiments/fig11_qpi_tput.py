@@ -24,11 +24,13 @@ class Fig11QpiThroughput(Experiment):
              "ioct_membw_gbps", "remote_membw_gbps"],
             notes="paper: both configurations degrade with STREAM "
                   "activity, remote much faster")
-        for pairs in STREAM_PAIRS:
-            ioct = run_tcp_stream("ioctopus", 64 * KB, "rx", duration,
-                                  stream_pairs=pairs)
-            remote = run_tcp_stream("remote", 64 * KB, "rx", duration,
-                                    stream_pairs=pairs)
+        runs = self.sweep(run_tcp_stream, [
+            dict(config=config, message_bytes=64 * KB, direction="rx",
+                 duration_ns=duration, stream_pairs=pairs)
+            for pairs in STREAM_PAIRS
+            for config in ("ioctopus", "remote")])
+        for i, pairs in enumerate(STREAM_PAIRS):
+            ioct, remote = runs[2 * i:2 * i + 2]
             result.add(
                 pairs,
                 round(ioct["throughput_gbps"], 2),

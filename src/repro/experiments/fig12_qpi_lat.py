@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.core.configurations import Testbed
 from repro.experiments.base import Experiment, ExperimentResult, register
-from repro.experiments.runners import warmup_of
+from repro.experiments.runners import run_with_slack, warmup_of
 from repro.workloads.sockperf import UdpPingPong
 from repro.workloads.stream_bench import spawn_stream_pairs
 
@@ -16,7 +16,7 @@ def run_udp_latency(config: str, pairs: int, duration_ns: int) -> float:
     workload = UdpPingPong(testbed, 64, duration_ns, warmup_of(duration_ns))
     spawn_stream_pairs(testbed.server, pairs, duration_ns,
                        skip_cores=[testbed.server_core(0)])
-    testbed.run(duration_ns + duration_ns // 5)
+    run_with_slack(testbed, duration_ns)
     return workload.average_one_way_us()
 
 
@@ -35,9 +35,12 @@ class Fig12QpiLatency(Experiment):
              "ioct_over_remote"],
             notes="one-way latency; paper's 0.90/0.81/0.78 annotations "
                   "are ioct/remote ratios")
-        for pairs in STREAM_PAIRS:
-            ioct = run_udp_latency("ioctopus", pairs, duration)
-            remote = run_udp_latency("remote", pairs, duration)
+        runs = self.sweep(run_udp_latency, [
+            dict(config=config, pairs=pairs, duration_ns=duration)
+            for pairs in STREAM_PAIRS
+            for config in ("ioctopus", "remote")])
+        for i, pairs in enumerate(STREAM_PAIRS):
+            ioct, remote = runs[2 * i:2 * i + 2]
             result.add(pairs, round(ioct, 2), round(remote, 2),
                        round(ioct / remote, 2))
         return result

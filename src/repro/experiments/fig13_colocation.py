@@ -93,9 +93,12 @@ class Fig13Colocation(Experiment):
             ["io_workload", "ioct_pr_ms", "remote_pr_ms",
              "pr_slowdown_remote", "ioct_io_rate", "remote_io_rate"],
             notes="io_rate: Gb/s for netperf, KT/s for memcached")
-        for io_kind in ("netperf", "memcached"):
-            ioct = run_point("ioctopus", io_kind, work)
-            remote = run_point("remote", io_kind, work)
+        kinds = ("netperf", "memcached")
+        runs = self.sweep(run_point, [
+            dict(config=config, io_kind=io_kind, work_bytes=work)
+            for io_kind in kinds for config in ("ioctopus", "remote")])
+        for i, io_kind in enumerate(kinds):
+            ioct, remote = runs[2 * i:2 * i + 2]
             result.add(
                 io_kind,
                 round(ioct["pr_runtime_ns"] / 1e6, 2),

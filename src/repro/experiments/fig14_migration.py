@@ -65,9 +65,13 @@ class Fig14Migration(Experiment):
             ["config", "time_ms", "pf0_gbps", "pf1_gbps"],
             notes=f"migration at {migrate_at / 1e6:.0f} ms; samples every "
                   f"{SAMPLE_NS / 1e6:.0f} ms")
-        for config in ("ioctopus", "local"):
+        configs = ("ioctopus", "local")
+        runs = self.sweep(run_migration, [
+            dict(config=config, duration_ns=duration,
+                 migrate_at_ns=migrate_at)
+            for config in configs])
+        for config, series in zip(configs, runs):
             label = "octoNIC" if config == "ioctopus" else "ethNIC"
-            series = run_migration(config, duration, migrate_at)
             for t, pf0, pf1 in zip(series["pf0"].times_ns,
                                    series["pf0"].values,
                                    series["pf1"].values):

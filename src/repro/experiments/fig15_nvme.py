@@ -76,7 +76,12 @@ class Fig15Nvme(Experiment):
 
     def run(self, fidelity: str = "normal") -> ExperimentResult:
         duration = self.duration_ns(fidelity) * 2  # flash ops are slow
-        base = run_fio_point(0, duration)["fio_gbps"]
+        runs = self.sweep(run_fio_point, [
+            dict(n_streams=n, duration_ns=duration)
+            for n in STREAM_COUNTS])
+        # STREAM_COUNTS starts at 0, so the unloaded baseline is runs[0]
+        # (deterministic: same point, same metrics).
+        base = runs[0]["fio_gbps"]
         stream_alone = (run_fio_point_stream_alone(duration)
                         if base else 0.0)
         result = self.result(
@@ -84,8 +89,7 @@ class Fig15Nvme(Experiment):
              "stream_normalized"],
             notes="normalised to each benchmark running alone, as in the "
                   "paper's figure")
-        for n in STREAM_COUNTS:
-            point = run_fio_point(n, duration)
+        for n, point in zip(STREAM_COUNTS, runs):
             per_stream = (point["stream_gbps"] / n) if n else 0.0
             result.add(
                 n,

@@ -14,9 +14,18 @@ from repro.workloads.stream_bench import spawn_stream_pairs
 #: Fraction of the run used as warmup before measurement starts.
 WARMUP_FRACTION = 0.15
 
+#: Extra simulated slack after the measured window (as a divisor of the
+#: duration) so in-flight work can drain before metrics are read.
+SLACK_DIVISOR = 5
+
 
 def warmup_of(duration_ns: int) -> int:
     return int(duration_ns * WARMUP_FRACTION)
+
+
+def run_with_slack(testbed: Testbed, duration_ns: int) -> None:
+    """Run the testbed for the measured window plus drain slack."""
+    testbed.run(duration_ns + duration_ns // SLACK_DIVISOR)
 
 
 def server_membw_gbps(testbed: Testbed, duration_ns: int) -> float:
@@ -35,14 +44,17 @@ class MembwProbe:
     def __init__(self, testbed: Testbed, duration_ns: int):
         self.gbps = 0.0
         self._cpu_by_core = {}
-        machine = testbed.server.machine
+        # Resolve the machine (and its DRAM controllers) once up front
+        # instead of re-walking testbed.server.machine inside the probe.
+        machine = self._machine = testbed.server.machine
+        drams = machine.memory.drams
         warmup = warmup_of(duration_ns)
 
         def probe():
             yield machine.env.timeout(warmup)
             machine.reset_measurement_windows()
             yield machine.env.timeout(duration_ns - warmup)
-            total = sum(d.window_bytes() for d in machine.memory.drams)
+            total = sum(d.window_bytes() for d in drams)
             self.gbps = total * 8 / (duration_ns - warmup)
             self._cpu_by_core = {core.core_id: core.window_utilization()
                                  for core in machine.cores}
@@ -66,7 +78,7 @@ def run_tcp_stream(config: str, message_bytes: int, direction: str,
         spawn_stream_pairs(host, stream_pairs, duration_ns, warmup,
                            skip_cores=[testbed.server_core(0)])
     probe = MembwProbe(testbed, duration_ns)
-    testbed.run(duration_ns + duration_ns // 5)
+    run_with_slack(testbed, duration_ns)
     return {
         "throughput_gbps": workload.throughput_gbps(),
         "membw_gbps": probe.gbps,
@@ -83,7 +95,7 @@ def run_pktgen(config: str, packet_bytes: int, duration_ns: int,
                       duration_ns, warmup_of(duration_ns),
                       ring_home_node=ring_home_node)
     probe = MembwProbe(testbed, duration_ns)
-    testbed.run(duration_ns + duration_ns // 5)
+    run_with_slack(testbed, duration_ns)
     return {
         "throughput_gbps": workload.throughput_gbps(),
         "mpps": workload.mpps(),
@@ -99,5 +111,5 @@ def run_tcp_rr(server_config: str, client_config: str, ddio: bool,
                       ddio=ddio, seed=seed)
     workload = TcpRr(testbed, message_bytes, duration_ns,
                      warmup_of(duration_ns))
-    testbed.run(duration_ns + duration_ns // 5)
+    run_with_slack(testbed, duration_ns)
     return workload.average_rtt_ns()

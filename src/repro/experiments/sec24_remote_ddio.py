@@ -27,9 +27,11 @@ class Sec24RemoteDdio(Experiment):
         result = self.result(
             ["ring_placement", "mpps", "gbps", "vs_default_remote"],
             notes="paper: marginal improvement of up to 2%")
-        default = run_pktgen("remote", MTU, duration)
         # Ring on node 0 = local to the NIC, remote to the CPU (node 1).
-        nic_side = run_pktgen("remote", MTU, duration, ring_home_node=0)
+        default, nic_side = self.sweep(run_pktgen, [
+            dict(config="remote", packet_bytes=MTU, duration_ns=duration),
+            dict(config="remote", packet_bytes=MTU, duration_ns=duration,
+                 ring_home_node=0)])
         result.add("cpu-node (default)", round(default["mpps"], 3),
                    round(default["throughput_gbps"], 2), 1.0)
         result.add("nic-node (remote DDIO)", round(nic_side["mpps"], 3),

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from repro.core.configurations import Testbed
 from repro.experiments.base import Experiment, ExperimentResult, register
-from repro.experiments.runners import MembwProbe, warmup_of
+from repro.experiments.runners import (MembwProbe, run_with_slack,
+                                       warmup_of)
 from repro.nic.packet import Flow
 from repro.units import KB
 from repro.workloads.netperf import TcpStream
@@ -29,7 +30,7 @@ def run_multicore(config: str, duration_ns: int) -> dict:
                            duration_ns, warmup)
                  for i, core in enumerate(cores)]
     probe = MembwProbe(testbed, duration_ns)
-    testbed.run(duration_ns + duration_ns // 5)
+    run_with_slack(testbed, duration_ns)
     return {
         "cores": len(cores),
         "gbps": sum(w.throughput_gbps() for w in workloads),
@@ -52,8 +53,11 @@ class Sec511Multicore(Experiment):
              "membw_per_gbit"],
             notes="ioctopus spans both sockets through both PFs; the "
                   "standard configs are capped by one x8 PF")
-        for config in ("ioctopus", "local", "remote"):
-            point = run_multicore(config, duration)
+        configs = ("ioctopus", "local", "remote")
+        runs = self.sweep(run_multicore, [
+            dict(config=config, duration_ns=duration)
+            for config in configs])
+        for config, point in zip(configs, runs):
             result.add(
                 config, point["cores"], round(point["gbps"], 1),
                 round(point["membw_gbps"], 1),

@@ -1,0 +1,176 @@
+"""Parallel sweep executor with an on-disk result cache.
+
+Every paper figure is a sweep of *independent* simulation points: each
+point builds its own seeded :class:`~repro.core.configurations.Testbed`,
+runs it, and returns plain metrics.  That makes the figures embarrassingly
+parallel, so :func:`sweep_map` fans the points across ``multiprocessing``
+workers (``--jobs N`` on the CLI) and — optionally — memoises finished
+points on disk keyed by a **code + parameters** hash, so re-running a
+figure after an unrelated edit is a cache hit and changing any simulator
+source invalidates everything.
+
+Determinism: point functions take all their randomness from their
+explicit ``seed`` parameter, so a point's metrics are identical whether it
+runs inline, in a worker, or comes from the cache.  Results are returned
+in submission order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+#: Process-wide defaults, set once by the CLI (or tests) via configure().
+_jobs = int(os.environ.get("REPRO_SWEEP_JOBS", "1") or 1)
+_cache_dir: Optional[str] = os.environ.get("REPRO_SWEEP_CACHE") or None
+
+_code_fingerprint: Optional[str] = None
+
+#: Persistent worker pool, reused across sweep_map calls so a figure
+#: sequence pays process startup once, not per sweep.
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_jobs = 0
+
+
+def _get_pool(jobs: int) -> ProcessPoolExecutor:
+    global _pool, _pool_jobs
+    if _pool is None or _pool_jobs != jobs:
+        shutdown_pool()
+        _pool = ProcessPoolExecutor(max_workers=jobs)
+        _pool_jobs = jobs
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent worker pool (tests / interpreter exit)."""
+    global _pool, _pool_jobs
+    if _pool is not None:
+        _pool.shutdown(wait=True)
+        _pool = None
+        _pool_jobs = 0
+
+
+def configure(jobs: Optional[int] = None,
+              cache_dir: Optional[str] = None) -> None:
+    """Set process-wide sweep defaults (the CLI's --jobs/--cache-dir)."""
+    global _jobs, _cache_dir
+    if jobs is not None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        _jobs = jobs
+    if cache_dir is not None:
+        _cache_dir = cache_dir
+
+
+def current_jobs() -> int:
+    return _jobs
+
+
+def code_fingerprint() -> str:
+    """Hash of every simulator source file; part of each cache key, so
+    any code change invalidates all cached points."""
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        root = Path(__file__).resolve().parents[1]  # src/repro
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+        _code_fingerprint = digest.hexdigest()
+    return _code_fingerprint
+
+
+def _fn_path(fn: Callable) -> str:
+    return f"{fn.__module__}:{fn.__qualname__}"
+
+
+def _point_key(fn_path: str, params: Dict) -> str:
+    payload = json.dumps({"fn": fn_path, "params": params},
+                         sort_keys=True, default=repr)
+    return hashlib.sha256(
+        (code_fingerprint() + payload).encode()).hexdigest()
+
+
+def _cache_load(cache_dir: str, key: str) -> Optional[Dict]:
+    path = os.path.join(cache_dir, f"{key}.json")
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError):
+        return None
+
+
+def _cache_store(cache_dir: str, key: str, fn_path: str, params: Dict,
+                 result) -> None:
+    try:
+        payload = json.dumps({"fn": fn_path, "params": params,
+                              "result": result}, sort_keys=True)
+    except TypeError:
+        return  # non-JSON result (e.g. TimeSeries): run uncached
+    os.makedirs(cache_dir, exist_ok=True)
+    path = os.path.join(cache_dir, f"{key}.json")
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as handle:
+        handle.write(payload)
+    os.replace(tmp, path)  # atomic: concurrent workers race benignly
+
+
+def _invoke(fn_path: str, params: Dict):
+    """Worker-side entry: resolve the dotted function path and call it.
+
+    Shipping the path instead of the function object keeps the submission
+    picklable under every multiprocessing start method.
+    """
+    import importlib
+    module_name, qualname = fn_path.split(":", 1)
+    fn = importlib.import_module(module_name)
+    for part in qualname.split("."):
+        fn = getattr(fn, part)
+    return fn(**params)
+
+
+def sweep_map(fn: Callable, points: Sequence[Dict],
+              jobs: Optional[int] = None,
+              cache_dir: Optional[str] = None) -> List:
+    """Run ``fn(**kwargs)`` for every kwargs dict in ``points``.
+
+    Results come back in submission order.  ``fn`` must be a module-level
+    function (picklable by path) whose kwargs are JSON-representable —
+    true of every experiment point runner.
+    """
+    jobs = _jobs if jobs is None else jobs
+    cache_dir = _cache_dir if cache_dir is None else cache_dir
+    fn_path = _fn_path(fn)
+    results: List = [None] * len(points)
+    pending = []  # (index, params, cache key or None)
+    for index, params in enumerate(points):
+        key = None
+        if cache_dir:
+            key = _point_key(fn_path, params)
+            hit = _cache_load(cache_dir, key)
+            if hit is not None:
+                results[index] = hit["result"]
+                continue
+        pending.append((index, params, key))
+
+    if jobs > 1 and len(pending) > 1:
+        pool = _get_pool(jobs)
+        futures = [(index, params, key,
+                    pool.submit(_invoke, fn_path, params))
+                   for index, params, key in pending]
+        for index, params, key, future in futures:
+            value = future.result()
+            results[index] = value
+            if key:
+                _cache_store(cache_dir, key, fn_path, params, value)
+    else:
+        for index, params, key in pending:
+            value = fn(**params)
+            results[index] = value
+            if key:
+                _cache_store(cache_dir, key, fn_path, params, value)
+    return results

@@ -71,13 +71,23 @@ class InterconnectLink:
                    1.0 + _BETA * u / max(1e-6, 1.0 - u))
 
     def loaded_crossing_ns(self) -> int:
-        return int(self.crossing_latency_ns * self.load_factor())
+        # load_factor() inlined (hot path; identical math — the
+        # conditional cap equals min() bit-for-bit).
+        u = self.estimator.utilization()
+        inflation = 1.0 + _BETA * u / max(1e-6, 1.0 - u)
+        if inflation > self.max_latency_inflation:
+            inflation = self.max_latency_inflation
+        return int(self.crossing_latency_ns * inflation)
 
     def traverse(self, nbytes: int) -> int:
         """Charge a transfer; return its total delay (latency + queue +
         service) in ns."""
-        self.estimator.update(nbytes)
-        return self.loaded_crossing_ns() + self.server.account(nbytes)
+        u = self.estimator.update_utilization(nbytes)
+        inflation = 1.0 + _BETA * u / max(1e-6, 1.0 - u)
+        if inflation > self.max_latency_inflation:
+            inflation = self.max_latency_inflation
+        return (int(self.crossing_latency_ns * inflation)
+                + self.server.account(nbytes))
 
     def probe_delay(self, nbytes: int = 64) -> int:
         """Delay a transfer *would* see, without charging bandwidth.
@@ -129,8 +139,13 @@ class Interconnect:
         """Congestion-inflated latency of one a->b->a line round trip."""
         if a == b:
             return 0
-        return (self.link(a, b).loaded_crossing_ns()
-                + self.link(b, a).loaded_crossing_ns())
+        links = self._links
+        try:
+            return (links[(a, b)].loaded_crossing_ns()
+                    + links[(b, a)].loaded_crossing_ns())
+        except KeyError:
+            self.link(a, b)          # re-raise with the friendly message
+            raise
 
     def round_trip(self, src_node: int, dst_node: int,
                    request_bytes: int, response_bytes: int) -> int:
@@ -138,8 +153,14 @@ class Interconnect:
         small request out, data back)."""
         if src_node == dst_node:
             return 0
-        out = self.link(src_node, dst_node).traverse(request_bytes)
-        back = self.link(dst_node, src_node).traverse(response_bytes)
+        links = self._links
+        try:
+            out = links[(src_node, dst_node)].traverse(request_bytes)
+            back = links[(dst_node, src_node)].traverse(response_bytes)
+        except KeyError:
+            self.link(src_node, dst_node)
+            self.link(dst_node, src_node)
+            raise
         return out + back
 
     def links(self):

@@ -233,12 +233,13 @@ class MemorySystem:
         qpi_delay = 0
         if device_node != home:
             qpi_delay = self.interconnect.traverse(device_node, home, nbytes)
-            qpi_delay = max(qpi_delay,
-                            self._dma_serialization(device_node, home,
-                                                    nbytes, engine))
+            serial = self._dma_serialization(device_node, home, nbytes,
+                                             engine)
+            if serial > qpi_delay:
+                qpi_delay = serial
         self.llcs[home].invalidate(region, nbytes)
         self._set_dma_resident(region, None)
-        return max(dram_delay, qpi_delay)
+        return dram_delay if dram_delay > qpi_delay else qpi_delay
 
     def dma_read(self, device_node: int, region: Region,
                  nbytes: int, engine=None) -> int:
@@ -260,10 +261,10 @@ class MemorySystem:
         dram_delay = self.drams[home].read(nbytes)  # parallel probe
         qpi_delay = self.interconnect.round_trip(
             device_node, home, int(nbytes * _REQUEST_OVERHEAD), nbytes)
-        qpi_delay = max(qpi_delay,
-                        self._dma_serialization(device_node, home, nbytes,
-                                                engine))
-        return max(dram_delay, qpi_delay)
+        serial = self._dma_serialization(device_node, home, nbytes, engine)
+        if serial > qpi_delay:
+            qpi_delay = serial
+        return dram_delay if dram_delay > qpi_delay else qpi_delay
 
     # ------------------------------------------------------------------
     # Reporting
@@ -292,14 +293,17 @@ class MemorySystem:
         behind each other, which is what throttles an SSD or NIC behind a
         congested interconnect (§5.2, §5.4).
         """
-        lines = max(1, nbytes // CACHELINE)
+        lines = nbytes // CACHELINE
+        if lines < 1:
+            lines = 1
         round_trip = self.interconnect.loaded_round_trip_ns(device_node,
                                                             home)
         duration = int(lines * round_trip / self.dma_outstanding_lines)
         if engine is None:
             return duration
-        now = self.env.now
-        start = max(now, getattr(engine, "dma_window_free_at", 0))
+        now = self.env._now
+        free_at = getattr(engine, "dma_window_free_at", 0)
+        start = free_at if free_at > now else now
         engine.dma_window_free_at = start + duration
         return (start - now) + duration
 

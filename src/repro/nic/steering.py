@@ -17,11 +17,21 @@ from typing import Dict, List, Optional
 from repro.nic.packet import Flow
 
 
+#: Memoised CRC32 of each flow's 5-tuple repr (the hash is pure, and the
+#: same handful of flows is hashed once per delivered batch on the hot
+#: receive path).
+_RSS_CRC_CACHE: Dict[Flow, int] = {}
+
+
 def rss_hash(flow: Flow, buckets: int) -> int:
     """Deterministic stand-in for the Toeplitz RSS hash."""
     if buckets < 1:
         raise ValueError(f"need >= 1 bucket, got {buckets}")
-    return zlib.crc32(repr(flow.as_tuple()).encode()) % buckets
+    crc = _RSS_CRC_CACHE.get(flow)
+    if crc is None:
+        crc = zlib.crc32(repr(flow.as_tuple()).encode())
+        _RSS_CRC_CACHE[flow] = crc
+    return crc % buckets
 
 
 @dataclass
@@ -42,12 +52,15 @@ class ArfsTable:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._rules: Dict[Flow, SteeringRule] = {}
+        #: Bumped on every structural change; steering caches key on it.
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._rules)
 
     def update(self, flow: Flow, queue, now: int = 0) -> None:
         """Insert or re-point a rule (the OS's ARFS callback path)."""
+        self.version += 1
         rule = self._rules.get(flow)
         if rule is None:
             if len(self._rules) >= self.capacity:
@@ -65,8 +78,15 @@ class ArfsTable:
         rule.last_hit_at = now
         return rule.target
 
+    def lookup_rule(self, flow: Flow) -> Optional[SteeringRule]:
+        """The live rule object (no recency side effect); cache helper."""
+        return self._rules.get(flow)
+
     def remove(self, flow: Flow) -> bool:
-        return self._rules.pop(flow, None) is not None
+        if self._rules.pop(flow, None) is None:
+            return False
+        self.version += 1
+        return True
 
     def snapshot(self) -> List[tuple]:
         """Stable (flow, queue) pairs — safe to iterate while mutating
@@ -80,11 +100,14 @@ class ArfsTable:
                    if now - rule.last_hit_at > idle_ns]
         for flow in expired:
             del self._rules[flow]
+        if expired:
+            self.version += 1
         return expired
 
     def _expire_one(self) -> None:
         oldest = min(self._rules.values(), key=lambda r: r.last_hit_at)
         del self._rules[oldest.flow]
+        self.version += 1
 
 
 class Mpfs:
@@ -103,17 +126,21 @@ class Mpfs:
         self.default_pf_id = default_pf_id
         self._mac_table: Dict[str, int] = {}
         self._flow_table: Dict[Flow, SteeringRule] = {}
+        #: Bumped on every structural change; steering caches key on it.
+        self.version = 0
 
     # ----------------------------------------------------------- mac mode
 
     def bind_mac(self, mac: str, pf_id: int) -> None:
         self._mac_table[mac] = pf_id
+        self.version += 1
 
     # ---------------------------------------------------------- flow mode
 
     def update_flow(self, flow: Flow, pf_id: int, now: int = 0) -> None:
         if self.mode != "flow":
             raise ValueError("flow rules need an IOctoRFS-mode MPFS")
+        self.version += 1
         rule = self._flow_table.get(flow)
         if rule is None:
             self._flow_table[flow] = SteeringRule(flow, pf_id,
@@ -124,14 +151,24 @@ class Mpfs:
             rule.updated_at = now
 
     def remove_flow(self, flow: Flow) -> bool:
-        return self._flow_table.pop(flow, None) is not None
+        if self._flow_table.pop(flow, None) is None:
+            return False
+        self.version += 1
+        return True
 
     def expire_idle(self, now: int, idle_ns: int) -> List[Flow]:
         expired = [flow for flow, rule in self._flow_table.items()
                    if now - rule.last_hit_at > idle_ns]
         for flow in expired:
             del self._flow_table[flow]
+        if expired:
+            self.version += 1
         return expired
+
+    def steer_rule(self, flow: Flow) -> Optional[SteeringRule]:
+        """The live flow rule object (no recency side effect); cache
+        helper for the firmware's memoised steering path."""
+        return self._flow_table.get(flow)
 
     def flow_rule_count(self) -> int:
         return len(self._flow_table)

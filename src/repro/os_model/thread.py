@@ -67,18 +67,24 @@ class SimThread:
     # ----------------------------------------------------------- helpers
 
     def compute(self, ns: int) -> Event:
-        """Busy the current core for ``ns``."""
+        """Busy the current core for ``ns``.
+
+        The returned event is pooled: yield it immediately, don't store it.
+        """
         self.core.charge(int(ns))
-        return self.env.timeout(int(ns))
+        return self.env.pooled_timeout(int(ns))
 
     def overlap(self, cpu_ns: int, dev_ns: int) -> Event:
-        """One pipelined batch: wall time max(cpu, dev), core charged cpu."""
+        """One pipelined batch: wall time max(cpu, dev), core charged cpu.
+
+        The returned event is pooled: yield it immediately, don't store it.
+        """
         self.core.charge(int(cpu_ns))
-        return self.env.timeout(max(int(cpu_ns), int(dev_ns)))
+        return self.env.pooled_timeout(max(int(cpu_ns), int(dev_ns)))
 
     def sleep(self, ns: int) -> Event:
-        """Block without using CPU."""
-        return self.env.timeout(int(ns))
+        """Block without using CPU (pooled: yield immediately)."""
+        return self.env.pooled_timeout(int(ns))
 
     def __repr__(self) -> str:
         return f"<SimThread {self.name} core={self.core.core_id}>"

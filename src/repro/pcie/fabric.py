@@ -79,6 +79,13 @@ class PhysicalFunction:
         self.dma_window_free_at = 0
         #: False after a surprise removal until the PF is recovered.
         self.alive = True
+        #: TLP route constants, resolved once: the PCIe half round trip
+        #: and the interconnect link per peer node (the topology is fixed
+        #: at construction, so per-call lookups are pure overhead).
+        self._half_rtt = machine.spec.pcie.round_trip_ns // 2
+        self._mmio_links: dict = {}
+        self._irq_links: dict = {}
+        self._memory = machine.memory
 
     # ------------------------------------------------------- fault state
 
@@ -102,17 +109,17 @@ class PhysicalFunction:
         """Device -> memory write through this PF; returns delay ns."""
         self._check_alive("dma_write")
         pcie_delay = self.link.upstream.account(nbytes)
-        mem_delay = self.machine.memory.dma_write(self.attach_node, region,
-                                                  nbytes, engine=self)
-        return max(pcie_delay, mem_delay)
+        mem_delay = self._memory.dma_write(self.attach_node, region,
+                                           nbytes, engine=self)
+        return mem_delay if mem_delay > pcie_delay else pcie_delay
 
     def dma_read(self, region, nbytes: int) -> int:
         """Memory -> device read through this PF; returns delay ns."""
         self._check_alive("dma_read")
         pcie_delay = self.link.downstream.account(nbytes)
-        mem_delay = self.machine.memory.dma_read(self.attach_node, region,
-                                                 nbytes, engine=self)
-        return max(pcie_delay, mem_delay)
+        mem_delay = self._memory.dma_read(self.attach_node, region,
+                                          nbytes, engine=self)
+        return mem_delay if mem_delay > pcie_delay else pcie_delay
 
     # ------------------------------------------------------------- MMIO
 
@@ -123,10 +130,13 @@ class PhysicalFunction:
         nonuniform I/O interactions Fig 1 depicts.
         """
         self._check_alive("mmio")
-        latency = self.machine.spec.pcie.round_trip_ns // 2
+        latency = self._half_rtt
         if from_node != self.attach_node:
-            link = self.machine.interconnect.link(from_node,
-                                                  self.attach_node)
+            link = self._mmio_links.get(from_node)
+            if link is None:
+                link = self.machine.interconnect.link(from_node,
+                                                      self.attach_node)
+                self._mmio_links[from_node] = link
             link.estimator.update(8)
             latency += link.loaded_crossing_ns()
         return latency
@@ -134,10 +144,13 @@ class PhysicalFunction:
     def interrupt_latency(self, to_node: int) -> int:
         """Latency for an MSI-X message to reach a core on ``to_node``."""
         self._check_alive("interrupt")
-        latency = self.machine.spec.pcie.round_trip_ns // 2
+        latency = self._half_rtt
         if to_node != self.attach_node:
-            link = self.machine.interconnect.link(self.attach_node,
-                                                  to_node)
+            link = self._irq_links.get(to_node)
+            if link is None:
+                link = self.machine.interconnect.link(self.attach_node,
+                                                      to_node)
+                self._irq_links[to_node] = link
             link.estimator.update(8)
             latency += link.loaded_crossing_ns()
         return latency

@@ -10,11 +10,28 @@ Determinism guarantees
 Events scheduled for the same timestamp fire in schedule order (a strictly
 increasing sequence number breaks heap ties), so two runs with the same seed
 produce identical traces.
+
+Fast-path machinery
+-------------------
+Two optimisations keep the kernel cheap without changing any trace:
+
+* **Same-timestamp fast lane** — the dominant schedule case is ``delay=0``
+  (event hand-offs, resource grants, process resumes).  Those events go to
+  a FIFO deque instead of the heap; :meth:`Environment.step` interleaves
+  the lane with the heap by the same global ``(time, sequence)`` order the
+  heap alone would have produced, so event order is bit-identical.
+* **Event free-list** — one-shot events the kernel itself creates and fully
+  controls (process bootstrap/resume hand-offs, interrupts, and the
+  :meth:`Environment.pooled_timeout` variant used by the thread helpers)
+  are recycled after their callbacks run instead of being reallocated.
+  Pooled events MUST NOT be retained by callers past their firing; the
+  public :meth:`Environment.timeout` is not pooled and stays safe to hold.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.sim.errors import (
@@ -36,7 +53,8 @@ class Event:
     callbacks run when the simulator reaches it in the event queue.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_exception", "_scheduled")
+    __slots__ = ("env", "callbacks", "_value", "_exception", "_scheduled",
+                 "_pool_ok")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -44,6 +62,7 @@ class Event:
         self._value: Any = _PENDING
         self._exception: Optional[BaseException] = None
         self._scheduled = False
+        self._pool_ok = False
 
     @property
     def triggered(self) -> bool:
@@ -156,6 +175,15 @@ class AnyOf(Event):
     def _on_child(self, event: Event) -> None:
         if self.triggered:
             return
+        # First child wins: detach from the losers so long-lived events do
+        # not accumulate dead callbacks (memory + dispatch cost in long
+        # runs) and so late firings skip the triggered-check entirely.
+        for child in self._children:
+            if child is not event and child.callbacks is not None:
+                try:
+                    child.callbacks.remove(self._on_child)
+                except ValueError:
+                    pass
         if not event.ok:
             self.fail(event._exception)
             return
@@ -182,10 +210,11 @@ class Process(Event):
         self._waiting_on: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
         # Bootstrap: resume the generator at time env.now via an
-        # immediately-scheduled initialisation event.
-        init = Event(env)
+        # immediately-scheduled (pooled) initialisation event.
+        init = env._pooled_event()
         init.callbacks.append(self._resume)
-        init.succeed()
+        init._value = None
+        env.schedule(init)
 
     @property
     def is_alive(self) -> bool:
@@ -205,9 +234,10 @@ class Process(Event):
             except ValueError:
                 pass
         self._waiting_on = None
-        interruption = Event(self.env)
+        interruption = self.env._pooled_event()
         interruption.callbacks.append(self._resume)
-        interruption.fail(Interrupt(cause))
+        interruption._exception = Interrupt(cause)
+        self.env.schedule(interruption)
 
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
@@ -236,13 +266,16 @@ class Process(Event):
                 f"process {self.name!r} yielded {next_event!r}, "
                 f"which is not an Event")
         if next_event.processed:
-            # Already fired: resume on the next scheduler pass.
-            bounce = Event(self.env)
+            # Already fired: resume on the next same-tick scheduler pass
+            # through a pooled hand-off event on the fast lane (hot on
+            # every ARFS cache hit; no heap traffic, no allocation).
+            bounce = self.env._pooled_event()
             bounce.callbacks.append(self._resume)
             if next_event._exception is not None:
-                bounce.fail(next_event._exception)
+                bounce._exception = next_event._exception
             else:
-                bounce.succeed(next_event._value)
+                bounce._value = next_event._value
+            self.env.schedule(bounce)
         else:
             self._waiting_on = next_event
             next_event.callbacks.append(self._resume)
@@ -254,8 +287,15 @@ class Environment:
     def __init__(self, initial_time: int = 0):
         self._now = int(initial_time)
         self._queue: List[tuple] = []
+        #: Same-timestamp fast lane: (sequence, event) pairs scheduled with
+        #: delay 0, drained in global (time, sequence) order with the heap.
+        self._lane: deque = deque()
         self._sequence = 0
         self._active_process: Optional[Process] = None
+        #: Free-list of recycled one-shot events (see module docstring).
+        self._pool: List[Event] = []
+        #: Total events dispatched; the perf harness divides by wall time.
+        self.events_processed = 0
 
     @property
     def now(self) -> int:
@@ -283,14 +323,50 @@ class Environment:
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
+    # -- pooled fast-path events -------------------------------------------
+
+    def _pooled_event(self) -> Event:
+        """A recycled pending event; recycled again after it fires.
+
+        Only for one-shot events whose last reader is a callback: the
+        object is reset and reused as soon as its callbacks have run.
+        """
+        pool = self._pool
+        if pool:
+            return pool.pop()
+        event = Event(self)
+        event._pool_ok = True
+        return event
+
+    def pooled_timeout(self, delay: int, value: Any = None) -> Event:
+        """A :class:`Timeout`-equivalent drawn from the free list.
+
+        The caller must yield/consume it immediately and never touch it
+        after it fires (the thread helpers' ``yield thread.overlap(...)``
+        pattern); use :meth:`timeout` for an event that is retained.
+        """
+        if delay < 0:
+            raise ScheduleInPastError(f"negative timeout delay {delay}")
+        event = self._pooled_event()
+        event._value = value
+        self.schedule(event, delay)
+        return event
+
     # -- scheduling and execution -----------------------------------------
 
     def schedule(self, event: Event, delay: int = 0) -> None:
+        if event._scheduled:
+            return
+        if delay == 0:
+            # Same-timestamp fast lane: no heap traffic for the dominant
+            # delay-0 case; sequence numbers keep global order intact.
+            event._scheduled = True
+            self._sequence += 1
+            self._lane.append((self._sequence, event))
+            return
         if delay < 0:
             raise ScheduleInPastError(
                 f"cannot schedule {delay} ns in the past")
-        if event._scheduled:
-            return
         event._scheduled = True
         self._sequence += 1
         heapq.heappush(self._queue, (self._now + int(delay),
@@ -298,15 +374,46 @@ class Environment:
 
     def peek(self) -> Optional[int]:
         """Timestamp of the next event, or None if the queue is empty."""
+        if self._lane:
+            return self._now
         return self._queue[0][0] if self._queue else None
 
     def step(self) -> None:
-        """Process exactly one event."""
-        if not self._queue:
-            raise SimulationError("step() on an empty event queue")
-        when, _seq, event = heapq.heappop(self._queue)
-        self._now = when
-        event._run_callbacks()
+        """Process exactly one event (the globally (time, seq)-smallest)."""
+        lane = self._lane
+        event: Optional[Event] = None
+        if lane:
+            queue = self._queue
+            if queue:
+                head = queue[0]
+                # A heap event at the current timestamp fires before lane
+                # events scheduled after it (strict sequence order).
+                if head[0] <= self._now and head[1] < lane[0][0]:
+                    heapq.heappop(queue)
+                    event = head[2]
+            if event is None:
+                event = lane.popleft()[1]
+        else:
+            if not self._queue:
+                raise SimulationError("step() on an empty event queue")
+            when, _seq, event = heapq.heappop(self._queue)
+            self._now = when
+        self.events_processed += 1
+        callbacks = event.callbacks
+        event.callbacks = None
+        if len(callbacks) == 1:
+            # Inlined single-callback dispatch (the overwhelmingly common
+            # case: one process waiting on one event).
+            callbacks[0](event)
+        else:
+            for callback in callbacks:
+                callback(event)
+        if event._pool_ok:
+            event.callbacks = []
+            event._value = _PENDING
+            event._exception = None
+            event._scheduled = False
+            self._pool.append(event)
 
     def run(self, until: Optional[int] = None) -> None:
         """Run until the queue drains or the clock reaches ``until``.
@@ -320,17 +427,19 @@ class Environment:
             if until < self._now:
                 raise ScheduleInPastError(
                     f"run(until={until}) but now={self._now}")
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
-                break
-            self.step()
-        if until is not None:
+            while self._lane or self._queue:
+                if not self._lane and self._queue[0][0] > until:
+                    break
+                self.step()
             self._now = max(self._now, until)
+            return
+        while self._lane or self._queue:
+            self.step()
 
     def run_process(self, process: Process) -> Any:
         """Run until ``process`` finishes and return its value."""
         while not process.triggered:
-            if not self._queue:
+            if not (self._lane or self._queue):
                 raise SimulationError(
                     f"deadlock: process {process.name!r} cannot finish "
                     f"(event queue empty)")
@@ -339,4 +448,5 @@ class Environment:
         return process.value
 
     def __repr__(self) -> str:
-        return f"<Environment now={self._now} queued={len(self._queue)}>"
+        return (f"<Environment now={self._now} "
+                f"queued={len(self._queue) + len(self._lane)}>")

@@ -1,0 +1,72 @@
+"""Determinism regression goldens: seeded runs must be byte-identical.
+
+These values were captured from the seed revision of the repository
+(before the event pool, delay-0 fast lane, and steering/route memoization
+landed) and pin the fast-path kernel to the exact floating-point results
+of the original straight-line code.  If any of these change, an
+"optimization" altered simulation behaviour — that is a bug, not a
+baseline refresh.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runners import run_pktgen, run_tcp_rr, run_tcp_stream
+
+D = 10_000_000  # 10 ms simulated
+
+
+def test_tcp_rx_ioctopus_golden():
+    assert run_tcp_stream("ioctopus", 4096, "rx", D, seed=0) == {
+        "throughput_gbps": 17.702430117647058,
+        "membw_gbps": 0.0,
+        "cpu_cores": 0.9999417647058824,
+    }
+
+
+def test_tcp_rx_remote_golden():
+    assert run_tcp_stream("remote", 4096, "rx", D, seed=3) == {
+        "throughput_gbps": 14.433340235294118,
+        "membw_gbps": 46.61235952941176,
+        "cpu_cores": 1.0,
+    }
+
+
+def test_tcp_tx_local_golden():
+    assert run_tcp_stream("local", 4096, "tx", D, seed=1) == {
+        "throughput_gbps": 16.160406588235293,
+        "membw_gbps": 4.357123764705882,
+        "cpu_cores": 0.9981475294117647,
+    }
+
+
+def test_pktgen_remote_golden():
+    assert run_pktgen("remote", 256, D, seed=0) == {
+        "throughput_gbps": 6.214354823529412,
+        "mpps": 3.0343529411764707,
+        "membw_gbps": 9.34580705882353,
+    }
+
+
+def test_pktgen_ioctopus_golden():
+    assert run_pktgen("ioctopus", 1500, D, seed=7) == {
+        "throughput_gbps": 48.60988235294118,
+        "mpps": 4.0508235294117645,
+        "membw_gbps": 0.0,
+    }
+
+
+def test_tcp_rr_golden():
+    assert run_tcp_rr("local", "local", True, 1024, D,
+                      seed=0) == 9892.324796274737
+
+
+def test_tcp_rr_no_ddio_golden():
+    assert run_tcp_rr("remote", "remote", False, 64, D,
+                      seed=2) == 9682.681093394078
+
+
+def test_repeat_run_is_identical():
+    """Same seed twice in one process: the pool must not leak state."""
+    first = run_pktgen("ioctopus", 256, D, seed=5)
+    second = run_pktgen("ioctopus", 256, D, seed=5)
+    assert second == first

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Run the perf-regression harness and write ``BENCH_<date>.json``.
+
+Usage::
+
+    python tools/bench.py                          # quick fidelity, 4 jobs
+    python tools/bench.py --fidelity normal --jobs 8
+    python tools/bench.py --check benchmarks/perf/BENCH_2026-08-05.json
+
+With ``--check BASELINE`` the exit status is 1 when events/sec drops, or
+serial figure wall-clock grows, by more than ``--threshold`` (default
+20%) against the baseline report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from perf.harness import (THRESHOLD, check_regression, format_report,
+                          run_bench)  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fidelity", default="quick",
+                        choices=["quick", "normal", "long"])
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="workers for the parallel figure pass")
+    parser.add_argument("--output", default=None,
+                        help="report path (default: "
+                             "benchmarks/perf/BENCH_<date>.json)")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="baseline JSON to gate against")
+    parser.add_argument("--threshold", type=float, default=THRESHOLD,
+                        help="allowed fractional regression "
+                             "(default %(default)s)")
+    args = parser.parse_args(argv)
+
+    report = run_bench(fidelity=args.fidelity, jobs=args.jobs)
+    print(format_report(report))
+
+    output = args.output or str(
+        REPO / "benchmarks" / "perf"
+        / f"BENCH_{time.strftime('%Y-%m-%d')}.json")
+    Path(output).parent.mkdir(parents=True, exist_ok=True)
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}")
+
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        failures = check_regression(report, baseline, args.threshold)
+        if failures:
+            print(f"PERF REGRESSION vs {args.check}:", file=sys.stderr)
+            for message in failures:
+                print(f"  - {message}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.check} "
+              f"(threshold {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
