@@ -26,8 +26,9 @@ from typing import Dict, List
 
 from repro.core.configurations import Testbed
 from repro.experiments import get_experiment, sweep
-from repro.experiments.runners import warmup_of
-from repro.nic.packet import Flow
+from repro.experiments.runners import run_until_converged, warmup_of
+from repro.nic.packet import Flow, packets_for
+from repro.os_model.netstack import MSS
 from repro.workloads.netperf import TcpStream
 from repro.workloads.pktgen import Pktgen
 
@@ -38,54 +39,131 @@ FIGURES = ("fig06", "fig08")
 #: grows, by more than this fraction vs the baseline.
 THRESHOLD = 0.20
 
+#: Floor on the adaptive train fast path: coalescing must cut simulated
+#: events per packet by at least this factor on the fig08 pktgen point.
+ADAPTIVE_REDUCTION_FLOOR = 3.0
+
 #: Simulated ns per engine bench point.  Fixed (not fidelity-scaled): the
 #: quick figure sweeps already give a fast smoke signal, while the engine
 #: events/sec number needs a long enough run to be stable under a
 #: regression threshold.
 ENGINE_DURATION_NS = 200_000_000
 
+#: Simulated ns of the adaptive-vs-exact pair: the fig08 pktgen point at
+#: quick fidelity, where the adaptive mode is the default.
+ADAPTIVE_PAIR_DURATION_NS = 10_000_000
+
+
+def _engine_workload(kind: str, testbed: Testbed, duration_ns: int):
+    warmup = warmup_of(duration_ns)
+    if kind == "pktgen":
+        return Pktgen(testbed.server, testbed.server_core(0), 256,
+                      duration_ns, warmup)
+    if kind == "tcp_rx":
+        return TcpStream(testbed.server, testbed.server_core(0),
+                         Flow.make(0), 4096, "rx", duration_ns, warmup)
+    raise ValueError(f"unknown engine bench kind {kind!r}")
+
+
+def _measured_packets(kind: str, workload) -> int:
+    """Simulated packets behind the workload's measured messages."""
+    if kind == "pktgen":
+        return workload.meter.messages_total
+    return workload.meter.messages_total * packets_for(
+        workload.message_bytes, MSS)
+
 
 def bench_engine_point(kind: str, config: str, duration_ns: int,
-                       repeats: int = 3) -> Dict:
+                       repeats: int = 3,
+                       accuracy: str = "exact") -> Dict:
     """One single-process point with direct event-loop access.
 
-    The event count is deterministic (same seed, same code); the wall
-    clock is best-of-``repeats`` to damp scheduler noise.
+    The event and packet counts are deterministic (same seed, same code);
+    the wall clock is best-of-``repeats`` to damp scheduler noise.
+    ``events_per_packet`` is the simulator-efficiency figure of merit the
+    packet-train fast path optimises: events/sec measures the kernel,
+    events/packet measures how few events the model needs at all.
     """
-    events = 0
+    events = packets = 0
     wall = float("inf")
     for _ in range(repeats):
-        testbed = Testbed(config, seed=0)
-        warmup = warmup_of(duration_ns)
-        if kind == "pktgen":
-            Pktgen(testbed.server, testbed.server_core(0), 256,
-                   duration_ns, warmup)
-        elif kind == "tcp_rx":
-            TcpStream(testbed.server, testbed.server_core(0),
-                      Flow.make(0), 4096, "rx", duration_ns, warmup)
-        else:
-            raise ValueError(f"unknown engine bench kind {kind!r}")
+        testbed = Testbed(config, seed=0, accuracy=accuracy)
+        workload = _engine_workload(kind, testbed, duration_ns)
         start = time.perf_counter()
         testbed.run(duration_ns + duration_ns // 5)
         elapsed = time.perf_counter() - start
         events = testbed.env.events_processed
+        packets = _measured_packets(kind, workload)
         if elapsed < wall:
             wall = elapsed
     return {
         "events": events,
+        "packets": packets,
         "wall_s": round(wall, 4),
         "events_per_sec": int(events / wall) if wall else 0,
+        "events_per_packet": round(events / packets, 6) if packets else 0.0,
     }
 
 
-def bench_figure(name: str, fidelity: str, jobs: int) -> float:
-    """Wall-clock seconds of one full figure sweep at ``jobs`` workers."""
+def bench_adaptive_pair(kind: str = "pktgen", config: str = "remote",
+                        duration_ns: int = ADAPTIVE_PAIR_DURATION_NS) -> Dict:
+    """Exact vs adaptive on the fig08 pktgen quick point.
+
+    Runs the same seeded point in both accuracy modes — the adaptive leg
+    through the convergence loop, as the quick sweeps run it — and
+    reports the events-per-packet reduction plus the primary-metric
+    (mpps) relative deviation the speedup costs.
+    """
+    pair = {"kind": kind, "config": config}
+    rates = {}
+    for accuracy in ("exact", "adaptive"):
+        testbed = Testbed(config, seed=0, accuracy=accuracy)
+        workload = _engine_workload(kind, testbed, duration_ns)
+        start = time.perf_counter()
+        if testbed.env.adaptive:
+            run_until_converged(testbed, duration_ns, workload.meter.mpps)
+        else:
+            testbed.run(duration_ns + duration_ns // 5)
+        elapsed = time.perf_counter() - start
+        events = testbed.env.events_processed
+        packets = _measured_packets(kind, workload)
+        rates[accuracy] = workload.meter.mpps()
+        pair[accuracy] = {
+            "events": events,
+            "packets": packets,
+            "wall_s": round(elapsed, 4),
+            "events_per_sec": int(events / elapsed) if elapsed else 0,
+            "events_per_packet": (round(events / packets, 6)
+                                  if packets else 0.0),
+        }
+    exact_epp = pair["exact"]["events_per_packet"]
+    adaptive_epp = pair["adaptive"]["events_per_packet"]
+    pair["events_per_packet_reduction"] = (
+        round(exact_epp / adaptive_epp, 2) if adaptive_epp else 0.0)
+    exact_rate = rates["exact"]
+    pair["metric_rel_error"] = (
+        round(abs(rates["adaptive"] - exact_rate) / exact_rate, 5)
+        if exact_rate else 0.0)
+    return pair
+
+
+def bench_figure(name: str, fidelity: str, jobs: int,
+                 repeats: int = 3) -> float:
+    """Wall-clock seconds of one full figure sweep at ``jobs`` workers.
+
+    Best-of-``repeats``, like the engine benches: quick sweeps finish in
+    tens of milliseconds, where single-shot timings are dominated by
+    scheduler noise (enough to flip the serial-vs-parallel speedup on
+    hosts where both legs take the serial-fallback path)."""
     previous = sweep.current_jobs()
     sweep.configure(jobs=jobs)
     try:
-        start = time.perf_counter()
-        get_experiment(name).run(fidelity)
-        return time.perf_counter() - start
+        wall = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            get_experiment(name).run(fidelity)
+            wall = min(wall, time.perf_counter() - start)
+        return wall
     finally:
         sweep.configure(jobs=previous)
 
@@ -99,6 +177,7 @@ def run_bench(fidelity: str = "quick", jobs: int = 4) -> Dict:
         "tcp_rx_ioctopus": bench_engine_point("tcp_rx", "ioctopus",
                                               ENGINE_DURATION_NS),
     }
+    adaptive = bench_adaptive_pair()
     figures = {}
     for name in FIGURES:
         serial = bench_figure(name, fidelity, 1)
@@ -118,6 +197,7 @@ def run_bench(fidelity: str = "quick", jobs: int = 4) -> Dict:
             "python": platform.python_version(),
         },
         "engine": engine,
+        "adaptive": adaptive,
         "figures": figures,
     }
 
@@ -138,6 +218,29 @@ def check_regression(current: Dict, baseline: Dict,
                 f"engine {name}: {now['events_per_sec']} events/s < "
                 f"{floor:.0f} (baseline {base['events_per_sec']} "
                 f"- {threshold:.0%})")
+        base_epp = base.get("events_per_packet")
+        now_epp = now.get("events_per_packet")
+        if base_epp and now_epp:
+            ceiling = base_epp * (1.0 + threshold)
+            if now_epp > ceiling:
+                failures.append(
+                    f"engine {name}: {now_epp} events/packet > "
+                    f"{ceiling:.6f} (baseline {base_epp} "
+                    f"+ {threshold:.0%})")
+    base_pair = baseline.get("adaptive")
+    now_pair = current.get("adaptive")
+    if base_pair is not None:
+        if now_pair is None:
+            failures.append("adaptive pair missing from report")
+        else:
+            reduction = now_pair.get("events_per_packet_reduction", 0.0)
+            floor = max(ADAPTIVE_REDUCTION_FLOOR,
+                        base_pair.get("events_per_packet_reduction", 0.0)
+                        * (1.0 - threshold))
+            if reduction < floor:
+                failures.append(
+                    f"adaptive: events/packet reduction {reduction}x < "
+                    f"{floor:.2f}x floor")
     for name, base in baseline.get("figures", {}).items():
         now = current.get("figures", {}).get(name)
         if now is None:
@@ -158,7 +261,16 @@ def format_report(report: Dict) -> str:
     for name, point in report["engine"].items():
         lines.append(f"  engine {name:18s} {point['events']:>9d} events  "
                      f"{point['wall_s']:>7.3f}s  "
-                     f"{point['events_per_sec']:>8d} ev/s")
+                     f"{point['events_per_sec']:>8d} ev/s  "
+                     f"{point.get('events_per_packet', 0.0):>8.5f} ev/pkt")
+    pair = report.get("adaptive")
+    if pair:
+        lines.append(
+            f"  adaptive pktgen_remote    "
+            f"{pair['exact']['events_per_packet']:.5f} -> "
+            f"{pair['adaptive']['events_per_packet']:.5f} ev/pkt  "
+            f"({pair['events_per_packet_reduction']:.1f}x fewer, "
+            f"metric off by {pair['metric_rel_error']:.2%})")
     for name, fig in report["figures"].items():
         lines.append(f"  figure {name:18s} serial {fig['serial_s']:.3f}s  "
                      f"jobs={report['jobs']} {fig['parallel_s']:.3f}s  "

@@ -58,7 +58,8 @@ class Testbed:
 
     def __init__(self, config: str, seed: int = 0, ddio: bool = True,
                  spec: Optional[MachineSpec] = None,
-                 client_config: str = "local"):
+                 client_config: str = "local",
+                 accuracy: Optional[str] = None):
         if config not in CONFIGS:
             raise ValueError(f"config must be one of {CONFIGS}, "
                              f"got {config!r}")
@@ -67,7 +68,10 @@ class Testbed:
         self.config = config
         self.client_config = client_config
         spec = spec or dell_r730_spec()
-        self.env = Environment()
+        # ``accuracy=None`` resolves to the process default (REPRO_ACCURACY
+        # or "exact"); the experiment layer passes an explicit mode.
+        self.env = Environment(accuracy=accuracy)
+        self.accuracy = self.env.accuracy
         self.wire = EthernetWire(self.env)
 
         # --- server: bifurcated x16 NIC, one x8 PF per socket (§4.1).

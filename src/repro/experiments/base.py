@@ -7,13 +7,28 @@ assert the paper's qualitative claims (who wins, by what factor).
 
 from __future__ import annotations
 
+import inspect
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.metrics.collect import format_table
+from repro.sim.engine import ACCURACY_MODES
 
 #: Milliseconds of simulated time per configuration point, by fidelity.
 DURATIONS_MS = {"quick": 10, "normal": 40, "long": 200}
+
+#: Process-wide accuracy override, set by the CLI's --accuracy flag.
+_accuracy_override: Optional[str] = None
+
+
+def configure_accuracy(mode: Optional[str]) -> None:
+    """Set (or clear, with None) the process-wide accuracy override."""
+    global _accuracy_override
+    if mode is not None and mode not in ACCURACY_MODES:
+        raise ValueError(
+            f"accuracy must be one of {ACCURACY_MODES}, got {mode!r}")
+    _accuracy_override = mode
 
 
 @dataclass
@@ -63,11 +78,35 @@ class Experiment:
 
     def duration_ns(self, fidelity: str) -> int:
         try:
-            return DURATIONS_MS[fidelity] * 1_000_000
+            duration = DURATIONS_MS[fidelity] * 1_000_000
         except KeyError:
             raise ValueError(
                 f"fidelity must be one of {sorted(DURATIONS_MS)}, "
                 f"got {fidelity!r}") from None
+        # Remember the fidelity so accuracy() can default quick runs to
+        # the adaptive fast path.
+        self._fidelity = fidelity
+        return duration
+
+    def accuracy(self) -> str:
+        """Accuracy mode for this experiment's sweep points.
+
+        Resolution order: the CLI's --accuracy override, then the
+        REPRO_ACCURACY environment variable, then the fidelity default —
+        quick runs take the adaptive fast path (coalesced packet trains +
+        early termination), normal/long runs stay exact.
+        """
+        if _accuracy_override is not None:
+            return _accuracy_override
+        mode = os.environ.get("REPRO_ACCURACY")
+        if mode:
+            if mode not in ACCURACY_MODES:
+                raise ValueError(
+                    f"REPRO_ACCURACY must be one of {ACCURACY_MODES}, "
+                    f"got {mode!r}")
+            return mode
+        quick = getattr(self, "_fidelity", None) == "quick"
+        return "adaptive" if quick else "exact"
 
     def result(self, headers: List[str], notes: str = "") -> (
             ExperimentResult):
@@ -77,8 +116,19 @@ class Experiment:
     def sweep(self, fn: Callable, points: Sequence[Dict]) -> List:
         """Run the figure's independent points through the sweep executor
         (parallel across --jobs workers, disk-cached when configured);
-        results come back in submission order."""
+        results come back in submission order.
+
+        Point functions that accept an ``accuracy`` parameter get this
+        experiment's resolved mode injected (explicit per-point values
+        win); functions without the parameter — the custom latency /
+        fault / time-series runners — are left untouched and stay exact.
+        """
         from repro.experiments.sweep import sweep_map
+        if "accuracy" in inspect.signature(fn).parameters:
+            accuracy = self.accuracy()
+            points = [point if "accuracy" in point
+                      else {**point, "accuracy": accuracy}
+                      for point in points]
         return sweep_map(fn, points)
 
 

@@ -31,6 +31,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--fidelity", default="normal",
                         choices=("quick", "normal", "long"),
                         help="simulated duration per data point")
+    parser.add_argument("--accuracy", default=None,
+                        choices=("exact", "adaptive"),
+                        help="exact: per-burst simulation (bit-identical "
+                             "goldens); adaptive: coalesce steady-state "
+                             "packet trains and stop converged points "
+                             "early (default: adaptive for --fidelity "
+                             "quick, exact otherwise)")
     parser.add_argument("--report", action="store_true",
                         help="emit a markdown report (tables + claim "
                              "verdicts) instead of plain tables")
@@ -48,6 +55,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs is not None or args.cache_dir is not None:
         from repro.experiments.sweep import configure
         configure(jobs=args.jobs, cache_dir=args.cache_dir)
+    if args.accuracy is not None:
+        from repro.experiments.base import configure_accuracy
+        configure_accuracy(args.accuracy)
     if args.list:
         for name in all_experiment_names():
             experiment = get_experiment(name)

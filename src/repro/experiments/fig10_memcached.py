@@ -2,9 +2,13 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.configurations import Testbed
 from repro.experiments.base import Experiment, ExperimentResult, register
-from repro.experiments.runners import (MembwProbe, run_with_slack,
+from repro.experiments.runners import (MembwProbe, meter_elapsed,
+                                       window_membw_gbps,
+                                       run_until_converged, run_with_slack,
                                        warmup_of)
 from repro.workloads.memcached import MemcachedServer
 
@@ -13,14 +17,21 @@ SET_RATIOS = [0.0, 0.25, 0.5, 0.75, 1.0]
 WORKERS = 2
 
 
-def run_memcached(config: str, set_fraction: float,
-                  duration_ns: int) -> dict:
-    testbed = Testbed(config)
+def run_memcached(config: str, set_fraction: float, duration_ns: int,
+                  accuracy: Optional[str] = None) -> dict:
+    testbed = Testbed(config, accuracy=accuracy)
     host = testbed.server
     cores = host.machine.cores_on_node(
         testbed.server_workload_node)[:WORKERS]
     server = MemcachedServer(host, cores, set_fraction, duration_ns,
                              warmup_of(duration_ns))
+    if testbed.env.adaptive:
+        run_until_converged(testbed, duration_ns, server.meter.ktps)
+        elapsed = meter_elapsed(server.meter)
+        return {
+            "ktps": server.transactions_ktps(),
+            "membw_gbps": window_membw_gbps(testbed, elapsed),
+        }
     probe = MembwProbe(testbed, duration_ns)
     run_with_slack(testbed, duration_ns)
     return {

@@ -1,8 +1,21 @@
-"""Shared experiment runners (build a testbed, run one workload point)."""
+"""Shared experiment runners (build a testbed, run one workload point).
+
+Every runner takes an ``accuracy`` mode (``None`` = the process default,
+see :func:`repro.sim.engine.default_accuracy`):
+
+* ``"exact"`` — the full run: every burst is its own event, metrics are
+  probed over the fixed measurement window.  Bit-identical to the
+  pre-train behaviour (the determinism goldens pin this).
+* ``"adaptive"`` — the quick-fidelity fast path: workloads coalesce
+  steady-state packet trains (``repro.workloads.train``) and the runner
+  stops the point early once its primary estimate has converged
+  (:func:`run_until_converged`), reading metrics over the train-aligned
+  covered time instead of the full window.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.configurations import Testbed
 from repro.nic.packet import Flow
@@ -17,6 +30,20 @@ WARMUP_FRACTION = 0.15
 #: Extra simulated slack after the measured window (as a divisor of the
 #: duration) so in-flight work can drain before metrics are read.
 SLACK_DIVISOR = 5
+
+#: Adaptive early termination: the measurement window is sliced this many
+#: times; after each slice the primary estimate is re-read.
+CONVERGE_SLICES = 16
+#: Minimum slices before an early stop may trigger (guards against a
+#: lucky flat start).
+CONVERGE_MIN_SLICES = 4
+#: The last this-many estimates must agree ...  (5, not 3: workloads
+#: with coarse per-sample quantisation — memcached's ~100 us
+#: transactions — drift at the percent scale for several slices, and a
+#: 3-slice window can sit flat on a transient plateau.)
+CONVERGE_WINDOW = 5
+#: ... to within this relative half-width for the point to stop early.
+CONVERGE_REL = 0.005
 
 
 def warmup_of(duration_ns: int) -> int:
@@ -33,6 +60,66 @@ def server_membw_gbps(testbed: Testbed, duration_ns: int) -> float:
     total = sum(d.read_bytes + d.write_bytes
                 for d in testbed.server.machine.memory.drams)
     return total * 8 / duration_ns
+
+
+# --------------------------------------------------------------- adaptive
+
+def _converged(estimates: List[Optional[float]]) -> bool:
+    """True when the last CONVERGE_WINDOW estimates agree to within a
+    CONVERGE_REL relative half-width."""
+    if len(estimates) < CONVERGE_WINDOW:
+        return False
+    tail = estimates[-CONVERGE_WINDOW:]
+    if any(e is None for e in tail):
+        return False
+    lo, hi = min(tail), max(tail)
+    mid = (lo + hi) / 2
+    if mid == 0:
+        return hi == lo
+    return (hi - lo) / 2 <= CONVERGE_REL * abs(mid)
+
+
+def run_until_converged(testbed: Testbed, duration_ns: int,
+                        estimate: Callable[[], float]) -> int:
+    """Adaptive steady-state early termination for one point.
+
+    Runs the warmup, resets the measurement windows, then advances the
+    testbed one slice of the measurement window at a time, re-reading the
+    primary ``estimate`` after each.  Stops as soon as the estimate has
+    converged (or the full window elapses).  Returns the warmup ns.
+    """
+    warmup = warmup_of(duration_ns)
+    testbed.run(warmup)
+    testbed.server.machine.reset_measurement_windows()
+    window = duration_ns - warmup
+    estimates: List[Optional[float]] = []
+    for i in range(1, CONVERGE_SLICES + 1):
+        testbed.run(warmup + window * i // CONVERGE_SLICES)
+        try:
+            estimates.append(estimate())
+        except ValueError:
+            # Nothing measured yet (meter unfinished / no samples).
+            estimates.append(None)
+        if i >= CONVERGE_MIN_SLICES and _converged(estimates):
+            break
+    return warmup
+
+
+def window_membw_gbps(testbed: Testbed, elapsed_ns: int) -> float:
+    drams = testbed.server.machine.memory.drams
+    return sum(d.window_bytes() for d in drams) * 8 / elapsed_ns
+
+
+def meter_elapsed(meter) -> int:
+    """Covered time of an adaptive run: first record to the (train-
+    aligned, progressively finished) end.  Adaptive workload bodies snap
+    ``start_ns`` to their first recorded train and project ``end_ns``
+    past their last, so dividing window counters by this — instead of
+    env.now − warmup — cancels both boundary effects: the dead gap
+    before the first post-warmup train and the charge-ahead of the last
+    one."""
+    end = meter.end_ns if meter.end_ns is not None else meter.start_ns
+    return max(1, end - meter.start_ns)
 
 
 class MembwProbe:
@@ -65,11 +152,14 @@ class MembwProbe:
         return self._cpu_by_core.get(core.core_id, 0.0)
 
 
+# ---------------------------------------------------------------- runners
+
 def run_tcp_stream(config: str, message_bytes: int, direction: str,
                    duration_ns: int, stream_pairs: int = 0,
-                   seed: int = 0) -> Dict[str, float]:
+                   seed: int = 0,
+                   accuracy: Optional[str] = None) -> Dict[str, float]:
     """One netperf TCP_STREAM point; returns throughput/membw/cpu."""
-    testbed = Testbed(config, seed=seed)
+    testbed = Testbed(config, seed=seed, accuracy=accuracy)
     host = testbed.server
     warmup = warmup_of(duration_ns)
     workload = TcpStream(host, testbed.server_core(0), Flow.make(0),
@@ -77,6 +167,16 @@ def run_tcp_stream(config: str, message_bytes: int, direction: str,
     if stream_pairs:
         spawn_stream_pairs(host, stream_pairs, duration_ns, warmup,
                            skip_cores=[testbed.server_core(0)])
+    if testbed.env.adaptive:
+        run_until_converged(testbed, duration_ns,
+                            workload.meter.gbps)
+        elapsed = meter_elapsed(workload.meter)
+        return {
+            "throughput_gbps": workload.throughput_gbps(),
+            "membw_gbps": window_membw_gbps(testbed, elapsed),
+            "cpu_cores": min(1.0, workload.thread.core.window_busy_ns
+                             / elapsed),
+        }
     probe = MembwProbe(testbed, duration_ns)
     run_with_slack(testbed, duration_ns)
     return {
@@ -88,12 +188,21 @@ def run_tcp_stream(config: str, message_bytes: int, direction: str,
 
 def run_pktgen(config: str, packet_bytes: int, duration_ns: int,
                ring_home_node: Optional[int] = None,
-               seed: int = 0) -> Dict[str, float]:
+               seed: int = 0,
+               accuracy: Optional[str] = None) -> Dict[str, float]:
     """One pktgen point."""
-    testbed = Testbed(config, seed=seed)
+    testbed = Testbed(config, seed=seed, accuracy=accuracy)
     workload = Pktgen(testbed.server, testbed.server_core(0), packet_bytes,
                       duration_ns, warmup_of(duration_ns),
                       ring_home_node=ring_home_node)
+    if testbed.env.adaptive:
+        run_until_converged(testbed, duration_ns, workload.meter.mpps)
+        elapsed = meter_elapsed(workload.meter)
+        return {
+            "throughput_gbps": workload.throughput_gbps(),
+            "mpps": workload.mpps(),
+            "membw_gbps": window_membw_gbps(testbed, elapsed),
+        }
     probe = MembwProbe(testbed, duration_ns)
     run_with_slack(testbed, duration_ns)
     return {
@@ -105,11 +214,19 @@ def run_pktgen(config: str, packet_bytes: int, duration_ns: int,
 
 def run_tcp_rr(server_config: str, client_config: str, ddio: bool,
                message_bytes: int, duration_ns: int,
-               seed: int = 0) -> float:
+               seed: int = 0, accuracy: Optional[str] = None) -> float:
     """One TCP_RR point; returns average RTT in ns."""
     testbed = Testbed(server_config, client_config=client_config,
-                      ddio=ddio, seed=seed)
+                      ddio=ddio, seed=seed, accuracy=accuracy)
     workload = TcpRr(testbed, message_bytes, duration_ns,
                      warmup_of(duration_ns))
+    if testbed.env.adaptive:
+        # No trains on the latency path (coalescing is disabled there by
+        # construction); early termination alone does the saving — the
+        # per-iteration RTT is nearly deterministic, so the average
+        # settles within a few convergence slices.
+        run_until_converged(testbed, duration_ns,
+                            workload.latencies.average)
+        return workload.average_rtt_ns()
     run_with_slack(testbed, duration_ns)
     return workload.average_rtt_ns()

@@ -274,6 +274,16 @@ class MemorySystem:
         for dram in self.drams:
             dram.reset_window()
 
+    def ddio_slice_bytes(self, node: int) -> int:
+        """Capacity of the node's DDIO LLC slice.
+
+        The packet-train fast path keeps a single train's payload below
+        this: per-packet delivery rotates buffers through the slice, so a
+        closed-form train that exceeded it would spill to DRAM where the
+        exact path would not.
+        """
+        return self.llcs[node].ddio_capacity
+
     def total_window_bandwidth_bps(self) -> float:
         return sum(d.window_bandwidth_bps() for d in self.drams)
 

@@ -51,6 +51,15 @@ class BaseFirmware:
         self._default_queues[pf_id] = list(queues)
         self._fw_version += 1
 
+    def steering_epoch(self) -> tuple:
+        """A fingerprint of every steering input: firmware state, the
+        MPFS, and all ARFS tables.  Any rule insert/remove/expiry, PF
+        failure/recovery, or queue registration changes it — the packet-
+        train fast path treats a changed epoch as a de-coalescing
+        boundary (the steering decision may no longer be steady)."""
+        return (self._fw_version, self.mpfs.version,
+                tuple(table.version for table in self.arfs))
+
     # -------------------------------------------------------- fault state
 
     def fail_pf(self, pf_id: int) -> None:

@@ -63,11 +63,27 @@ class AdaptiveCoalescing:
 
     def interrupts_for(self, npackets: int, now_ns: int) -> int:
         """Interrupts raised for a batch arriving at ``now_ns``."""
+        return self.interrupts_for_train(npackets, 1, now_ns)
+
+    def interrupts_for_train(self, npackets: int, nbursts: int,
+                             now_ns: int) -> int:
+        """Interrupts for a coalesced train of ``nbursts`` back-to-back
+        bursts of ``npackets`` each.
+
+        The rate estimator observes the train's full packet count (the
+        same aggregate rate the per-burst path would have produced), but
+        the interrupt count is ``nbursts`` times the per-burst value so a
+        train charges exactly what its constituent bursts would have at a
+        steady budget.  ``nbursts=1`` is bit-identical to the historical
+        per-batch path.
+        """
         if npackets < 1:
             raise ValueError(f"npackets must be >= 1, got {npackets}")
-        self._observe(npackets, now_ns)
+        if nbursts < 1:
+            raise ValueError(f"nbursts must be >= 1, got {nbursts}")
+        self._observe(npackets * nbursts, now_ns)
         budget = self.current_budget()
-        return max(1, npackets // budget)
+        return nbursts * max(1, npackets // budget)
 
     def _observe(self, npackets: int, now_ns: int) -> None:
         if self._last_update_ns is None:

@@ -58,6 +58,15 @@ class NicQueue:
         self.packets_total += npackets
         self.bytes_total += nbytes
 
+    def descriptors_until_wrap(self) -> int:
+        """Descriptors left before the producer index wraps the ring.
+
+        A coalesced packet train must not cross a queue wrap: the wrap is
+        where real drivers re-arm doorbells and recycle completions, so
+        the train planner caps a train at this many descriptors.
+        """
+        return RING_ENTRIES - (self.packets_total % RING_ENTRIES)
+
     def __repr__(self) -> str:
         return (f"<{type(self).__name__} {self.queue_id} "
                 f"core={self.core.core_id} pf={getattr(self.pf, 'name', None)}>")

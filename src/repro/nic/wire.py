@@ -33,15 +33,21 @@ class WireImpairment:
         self.corrupt_probability = corrupt_probability
 
     def losses(self, npackets: int) -> tuple:
-        """(lost, corrupted) counts for a batch of ``npackets``."""
-        lost = corrupted = 0
-        for _ in range(npackets):
-            draw = self.rng.random()
-            if draw < self.loss_probability:
-                lost += 1
-            elif draw < self.loss_probability + self.corrupt_probability:
-                corrupted += 1
-        return lost, corrupted
+        """(lost, corrupted) counts for a batch of ``npackets``.
+
+        One seeded batch draw replaces the per-packet RNG loop; the
+        stream consumed and the per-draw classification are identical to
+        the original ``random()``-per-packet code, so replays (and the
+        golden tests) are byte-for-byte unchanged.
+        """
+        if npackets <= 0:
+            return 0, 0
+        p_loss = self.loss_probability
+        p_bad = p_loss + self.corrupt_probability
+        draws = self.rng.batch(npackets)
+        bad = [draw for draw in draws if draw < p_bad]
+        lost = sum(1 for draw in bad if draw < p_loss)
+        return lost, len(bad) - lost
 
 
 class EthernetWire:

@@ -100,17 +100,50 @@ class NetworkStack:
             # The app buffer stays where it was allocated (first-touch);
             # only cache residency migrates, which the LLC model handles.
 
+    # ----------------------------------------------- steady-state fast path
+
+    def steady_token(self, sock: Socket) -> tuple:
+        """Fingerprint of every steering/steady-state input a burst on
+        ``sock`` depends on.  While two consecutive bursts see the same
+        token, a coalesced train is exact up to linearity: same core, same
+        queues, same serving PFs (and both alive), same firmware steering
+        epoch, same interrupt-moderation budgets, no wire impairment.
+        Any change is a de-coalescing boundary for the train governor."""
+        thread = sock.owner
+        driver = sock.driver
+        rxq = driver.rx_queue_for_core(thread.core)
+        txq = sock.tx_queue
+        device = driver.device
+        wire = device.wire
+        return (thread.core, rxq, txq, rxq.pf, txq.pf,
+                rxq.pf.alive, txq.pf.alive,
+                device.firmware.steering_epoch(),
+                rxq.moderation.current_budget(),
+                txq.moderation.current_budget(),
+                wire.is_impaired if wire is not None else False)
+
     # ------------------------------------------------- throughput: receive
 
     def rx_burst(self, sock: Socket, nmessages: int,
-                 message_bytes: int) -> tuple:
-        """Receive ``nmessages`` messages; returns (cpu_ns, dev_ns)."""
+                 message_bytes: int, ntrains: int = 1) -> tuple:
+        """Receive ``nmessages`` messages; returns (cpu_ns, dev_ns).
+
+        ``ntrains > 1`` coalesces that many identical back-to-back bursts
+        into one call (adaptive accuracy): every count is the per-burst
+        value scaled by ``ntrains`` — preserving the per-burst quantisation
+        of packets-per-message and interrupts — so the charge equals the
+        sum of ``ntrains`` individual calls wherever the model is linear.
+        """
         if nmessages < 1:
             raise ValueError(f"nmessages must be >= 1, got {nmessages}")
+        if ntrains < 1:
+            raise ValueError(f"ntrains must be >= 1, got {ntrains}")
         thread = sock.owner
         node = thread.core.node_id
         pkts_per_msg = packets_for(message_bytes, MSS)
-        npackets = nmessages * pkts_per_msg
+        burst_packets = nmessages * pkts_per_msg
+        npackets = burst_packets * ntrains
+        total_messages = nmessages * ntrains
         payload = max(1, min(message_bytes, MSS))
 
         # Under streaming load the ring runs deep: the batch the CPU
@@ -122,11 +155,11 @@ class NetworkStack:
         # a single queue stays DDIO-hot.
         queue = sock.driver.rx_queue_for_core(thread.core)
         total_bytes = npackets * payload
-        interrupts = queue.moderation.interrupts_for(npackets,
-                                                     self.machine.now)
+        interrupts = queue.moderation.interrupts_for_train(
+            burst_packets, ntrains, self.machine.now)
         cpu = interrupts * self.costs.irq_ns
         cpu += npackets * self.costs.rx_pkt_ns
-        cpu += nmessages * self.costs.syscall_ns
+        cpu += total_messages * self.costs.syscall_ns
         # Completion-descriptor reads: hit (DDIO) or ~80 ns miss each.
         cpu += npackets * self.memory.read_fresh_dma_line(node, queue.ring)
         # Payload copy to userspace: source freshness decided by DMA path.
@@ -140,57 +173,70 @@ class NetworkStack:
         delivered, dev_ns = sock.driver.device.rx_deliver(
             sock.flow, sock.dst_mac, npackets, payload)
         delivered.outstanding = max(0, delivered.outstanding - npackets)
-        sock.rx_messages += nmessages
+        sock.rx_messages += total_messages
         return cpu, dev_ns
 
     # ------------------------------------------------ throughput: transmit
 
     def tx_burst(self, sock: Socket, nmessages: int, message_bytes: int,
-                 tso: bool = True) -> tuple:
-        """Transmit ``nmessages`` messages; returns (cpu_ns, dev_ns)."""
+                 tso: bool = True, ntrains: int = 1) -> tuple:
+        """Transmit ``nmessages`` messages; returns (cpu_ns, dev_ns).
+
+        ``ntrains`` coalesces identical back-to-back bursts exactly as in
+        :meth:`rx_burst`; per-burst quantisation (TSO descriptor count,
+        ACK ratio, doorbell per burst) is preserved by scaling the
+        per-burst values rather than recomputing from the train total.
+        """
         if nmessages < 1:
             raise ValueError(f"nmessages must be >= 1, got {nmessages}")
+        if ntrains < 1:
+            raise ValueError(f"ntrains must be >= 1, got {ntrains}")
         thread = sock.owner
         node = thread.core.node_id
         txq = sock.tx_queue
         pkts_per_msg = packets_for(message_bytes, MSS)
-        npackets = nmessages * pkts_per_msg
+        burst_packets = nmessages * pkts_per_msg
+        npackets = burst_packets * ntrains
+        total_messages = nmessages * ntrains
         payload = max(1, min(message_bytes, MSS))
         total_bytes = npackets * payload
         if tso:
-            ndesc = nmessages * max(1, -(-message_bytes // TSO_SEGMENT))
+            burst_desc = nmessages * max(1, -(-message_bytes // TSO_SEGMENT))
+            ndesc = burst_desc * ntrains
             stack_cost = ndesc * self.costs.tx_segment_ns
         else:
+            burst_desc = burst_packets
             ndesc = npackets
             stack_cost = npackets * self.costs.tx_pkt_ns
 
-        cpu = nmessages * self.costs.syscall_ns + stack_cost
+        cpu = total_messages * self.costs.syscall_ns + stack_cost
         # Copy userspace -> kernel skbs.
         cpu += int(total_bytes * self.costs.copy_ns_per_byte)
         cpu += self.memory.cpu_stream_read(node, sock.app_buffer,
                                            total_bytes)
         cpu += self.memory.cpu_stream_write(node, txq.skbs, total_bytes)
-        # Doorbell (crosses the interconnect if the PF is remote).
-        cpu += txq.pf.mmio_latency(node)
+        # Doorbell per burst (crosses the interconnect if the PF is remote).
+        cpu += ntrains * txq.pf.mmio_latency(node)
 
         dev_ns = sock.driver.device.tx(txq, txq.skbs, npackets, payload,
                                        ndesc=ndesc)
         # Completion reads (the pktgen-style ~80 ns-per-miss path).
         cpu += ndesc * self.memory.read_fresh_dma_line(node, txq.ring)
         # Interrupt per completion batch.
-        cpu += (txq.moderation.interrupts_for(ndesc, self.machine.now)
+        cpu += (txq.moderation.interrupts_for_train(burst_desc, ntrains,
+                                                    self.machine.now)
                 * self.costs.irq_ns)
         # Incoming TCP ACKs (~1 per 2 MSS, GRO-coalesced ~8:1).  They are
         # DMA-written like any Rx traffic, so their descriptor reads miss
         # when the serving PF is remote.
-        nacks = npackets // 16
+        nacks = (burst_packets // 16) * ntrains
         if nacks:
             rxq = sock.driver.rx_queue_for_core(thread.core)
             dev_ack = rxq.pf.dma_write(rxq.ring, nacks * 64)
             cpu += nacks * (self.costs.rx_pkt_ns // 2)
             cpu += nacks * self.memory.read_fresh_dma_line(node, rxq.ring)
             dev_ns = max(dev_ns, dev_ack)
-        sock.tx_messages += nmessages
+        sock.tx_messages += total_messages
         return cpu, dev_ns
 
     # ------------------------------------------------------ latency paths

@@ -31,6 +31,7 @@ Two optimisations keep the kernel cheap without changing any trace:
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
@@ -43,6 +44,24 @@ from repro.sim.errors import (
 
 #: Marker object distinguishing "not yet set" from a legitimate ``None`` value.
 _PENDING = object()
+
+#: Accuracy modes governing the adaptive fast paths.
+#:
+#: * ``"exact"``    — today's per-packet, bit-identical behaviour; seeded
+#:   runs reproduce the determinism goldens byte-for-byte.
+#: * ``"adaptive"`` — steady-state packet-train coalescing in the
+#:   workloads plus early termination in the experiment runners; metrics
+#:   stay within ~1% of exact while processing far fewer events.
+ACCURACY_MODES = ("exact", "adaptive")
+
+
+def default_accuracy() -> str:
+    """The process-wide accuracy default (``REPRO_ACCURACY`` env var)."""
+    mode = os.environ.get("REPRO_ACCURACY") or "exact"
+    if mode not in ACCURACY_MODES:
+        raise ValueError(f"REPRO_ACCURACY must be one of {ACCURACY_MODES}, "
+                         f"got {mode!r}")
+    return mode
 
 
 class Event:
@@ -284,7 +303,15 @@ class Process(Event):
 class Environment:
     """The simulation clock and event queue."""
 
-    def __init__(self, initial_time: int = 0):
+    def __init__(self, initial_time: int = 0,
+                 accuracy: Optional[str] = None):
+        if accuracy is None:
+            accuracy = default_accuracy()
+        if accuracy not in ACCURACY_MODES:
+            raise ValueError(f"accuracy must be one of {ACCURACY_MODES}, "
+                             f"got {accuracy!r}")
+        #: Accuracy mode every model layer consults (see ACCURACY_MODES).
+        self.accuracy = accuracy
         self._now = int(initial_time)
         self._queue: List[tuple] = []
         #: Same-timestamp fast lane: (sequence, event) pairs scheduled with
@@ -301,6 +328,11 @@ class Environment:
     def now(self) -> int:
         """Current simulation time in nanoseconds."""
         return self._now
+
+    @property
+    def adaptive(self) -> bool:
+        """True when the bounded-error fast paths may engage."""
+        return self.accuracy == "adaptive"
 
     @property
     def active_process(self) -> Optional[Process]:

@@ -50,6 +50,13 @@ class Core:
         self._window_start = self.env.now
         self._window_busy = 0
 
+    @property
+    def window_busy_ns(self) -> int:
+        """Busy ns charged since the last window reset.  The adaptive
+        runners divide by their own (train-aligned) elapsed time instead
+        of ``env.now``, so charge-ahead trains do not skew utilisation."""
+        return self._window_busy
+
     def window_utilization(self) -> float:
         elapsed = self.env.now - self._window_start
         if elapsed <= 0:

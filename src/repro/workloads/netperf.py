@@ -11,9 +11,11 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.metrics.collect import LatencyRecorder
-from repro.nic.packet import Flow
+from repro.nic.packet import Flow, packets_for
+from repro.os_model.netstack import MSS
 from repro.units import KB
 from repro.workloads.base import Workload, measured_meter
+from repro.workloads.train import MAX_TRAIN_BYTES, TrainGovernor
 
 #: Default burst sizing: batch messages up to this many bytes per loop.
 BURST_BYTES = 64 * KB
@@ -38,6 +40,9 @@ class TcpStream(Workload):
         self.driver = driver or host.driver
         self.meter = measured_meter(self)
         self.batch = max(1, BURST_BYTES // message_bytes)
+        #: Packet-train coalescing state (drives the adaptive fast path;
+        #: idle in exact mode).  Tests read its counters.
+        self.governor = TrainGovernor()
         self.thread = self._spawn(f"netperf-{direction}", self._body, core)
 
     def _body(self, thread):
@@ -46,11 +51,54 @@ class TcpStream(Workload):
             app_buffer_bytes=max(64 * KB, self.message_bytes))
         burst = (self.host.stack.rx_burst if self.direction == "rx"
                  else self.host.stack.tx_burst)
+        if self.env.adaptive:
+            yield from self._train_body(thread, sock, burst)
+            return
         while not self.done():
             cpu, dev = burst(sock, self.batch, self.message_bytes)
             if self.in_measurement():
                 self.meter.record(self.batch * self.message_bytes,
                                   self.batch)
+            yield thread.overlap(cpu, dev)
+        self.meter.finish(min(self.env.now, self.duration_ns))
+
+    def _train_body(self, thread, sock, burst):
+        """Adaptive fast path: K identical bursts per event while the
+        socket's steady-state token holds (see NetworkStack.steady_token).
+        The burst call scales every count by ``ntrains``, preserving the
+        per-burst quantisation, so a train charges exactly what K
+        individual bursts would."""
+        governor = self.governor
+        stack = self.host.stack
+        burst_bytes = self.batch * self.message_bytes
+        burst_packets = self.batch * packets_for(self.message_bytes, MSS)
+        byte_cap = max(1, MAX_TRAIN_BYTES // burst_bytes)
+        while not self.done():
+            token = stack.steady_token(sock)
+            rxq = sock.driver.rx_queue_for_core(thread.core)
+            queue = rxq if self.direction == "rx" else sock.tx_queue
+            cap = min(governor.max_bursts, byte_cap,
+                      max(1, queue.descriptors_until_wrap()
+                          // burst_packets))
+            cap = governor.clip_to_boundaries(cap, self.env.now,
+                                              self.warmup_ns,
+                                              self.duration_ns)
+            k = governor.plan(token, cap)
+            cpu, dev = burst(sock, self.batch, self.message_bytes,
+                             ntrains=k)
+            wall = max(cpu, dev)
+            if self.in_measurement():
+                # Progressive start/finish: bytes are recorded at train
+                # start; align the meter's window to [first train start,
+                # projected last train end] so an early-terminated run
+                # reads a train-covered rate with no dead gap after
+                # warmup.
+                if self.meter.messages_total == 0:
+                    self.meter.start_ns = self.env.now
+                self.meter.record(k * burst_bytes, k * self.batch)
+                self.meter.finish(min(self.env.now + wall,
+                                      self.duration_ns))
+            governor.observe(wall, k)
             yield thread.overlap(cpu, dev)
         self.meter.finish(min(self.env.now, self.duration_ns))
 

@@ -1,0 +1,148 @@
+"""Packet-train coalescing for steady-state flows (adaptive accuracy).
+
+A workload loop in ``exact`` mode yields one event per burst: every burst
+re-walks wire -> NIC ring -> DMA/LLC -> netstack even when nothing about
+the flow is changing.  In ``adaptive`` mode the :class:`TrainGovernor`
+watches a *steady-state token* — a fingerprint of every decision a burst
+depends on (core, queues, serving PF and its liveness, the firmware
+steering epoch, interrupt-moderation budget, wire impairment) — and,
+while the token holds and the per-burst wall time is stable, lets the
+workload coalesce K back-to-back bursts into a single *train* event.
+
+The model layer is already closed-form in the batch size (every
+``*_burst``/``tx``/``rx_deliver`` call takes an ``npackets``/``nmessages``
+count and the bandwidth/DRAM/interconnect servers are linear in bytes),
+so a train is simply the same calls with K-scaled counts: it charges the
+same aggregate wire bandwidth, PCIe TLP routing, DDIO/LLC allocation and
+ring/descriptor accounting the K individual bursts would have, while the
+event kernel dispatches one event instead of K.
+
+De-coalescing is automatic: any token change (ARFS migration, PF
+failover, impairment episode, moderation budget shift, etc.) resets the
+train length to one burst, and per-train caps keep a single train from
+crossing a queue wrap, overrunning the DDIO slice, or spanning a
+measurement boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Hard cap on bursts per train (grows geometrically 2, 4, ... up to this).
+MAX_TRAIN_BURSTS = 32
+#: Hard cap on a single train's wall time.  This bounds both the latency
+#: of reacting to an injected fault (a fault lands mid-train at most this
+#: late) and the record-ahead quantisation of the throughput meters.
+MAX_TRAIN_WALL_NS = 250_000
+#: Hard cap on a single train's payload bytes (kept below the ~3.5 MB
+#: DDIO LLC slice; see MemorySystem.ddio_slice_bytes).
+MAX_TRAIN_BYTES = 2 * 1024 * 1024
+#: Consecutive stable per-burst wall observations required before a train
+#: may grow.
+SETTLE_OBSERVATIONS = 2
+#: Relative tolerance for "the per-burst wall time is stable".
+STABLE_REL_TOL = 0.02
+
+
+class TrainGovernor:
+    """Decides how many back-to-back bursts the next event may coalesce.
+
+    Protocol, once per workload loop iteration::
+
+        k = governor.plan(token, cap)   # bursts to coalesce now
+        ... run the k-burst train through the model layer ...
+        governor.observe(wall_ns, k)    # feed back the train's wall time
+
+    ``plan`` returns 1 until the token has been steady and the observed
+    per-burst wall time stable for :data:`SETTLE_OBSERVATIONS` rounds,
+    then grows the train geometrically up to ``min(cap, max_bursts)``.
+    Any token change de-coalesces (K returns to 1 immediately).
+    """
+
+    def __init__(self, max_bursts: int = MAX_TRAIN_BURSTS,
+                 settle: int = SETTLE_OBSERVATIONS,
+                 rel_tol: float = STABLE_REL_TOL):
+        if max_bursts < 1:
+            raise ValueError(f"max_bursts must be >= 1, got {max_bursts}")
+        self.max_bursts = max_bursts
+        self.settle = settle
+        self.rel_tol = rel_tol
+        self._token = None
+        self._streak = 0
+        self._next_k = 1
+        self._per_burst_wall: Optional[float] = None
+        # -- counters (tests and the perf harness read these) --
+        self.trains = 0
+        self.coalesced_bursts = 0
+        self.decoalesce_events = 0
+        self.max_bursts_seen = 1
+
+    # ------------------------------------------------------------- query
+
+    @property
+    def per_burst_wall_ns(self) -> Optional[float]:
+        """Latest observed wall time per burst (None before the first
+        observation or right after a de-coalesce)."""
+        return self._per_burst_wall
+
+    # ----------------------------------------------------------- protocol
+
+    def plan(self, token, cap: Optional[int] = None) -> int:
+        """Bursts the next train may coalesce under ``token``.
+
+        ``cap`` is the caller's per-train ceiling for *this* iteration
+        (ring wrap, byte budget, boundary clipping); it limits the train
+        without resetting the learned steady state.
+        """
+        if token != self._token:
+            if self._token is not None:
+                self.decoalesce_events += 1
+            self._token = token
+            self._streak = 0
+            self._next_k = 1
+            self._per_burst_wall = None
+        k = self._next_k if self._streak >= self.settle else 1
+        if cap is not None and k > cap:
+            k = cap if cap >= 1 else 1
+        self.trains += 1
+        self.coalesced_bursts += k
+        if k > self.max_bursts_seen:
+            self.max_bursts_seen = k
+        return k
+
+    def observe(self, wall_ns: int, k: int) -> None:
+        """Feed back the wall time of the train ``plan`` sized as ``k``."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        per_burst = wall_ns / k
+        previous = self._per_burst_wall
+        self._per_burst_wall = per_burst
+        if (previous is None
+                or abs(per_burst - previous) > self.rel_tol * previous):
+            # Unstable (or first look at this token): hold at one burst.
+            self._streak = 0
+            self._next_k = 1
+            return
+        self._streak += 1
+        if self._streak >= self.settle:
+            self._next_k = min(self._next_k * 2, self.max_bursts)
+
+    # ------------------------------------------------------------ helpers
+
+    def clip_to_boundaries(self, cap: int, now_ns: int, warmup_ns: int,
+                           duration_ns: int) -> int:
+        """Tighten ``cap`` so the projected train does not cross the
+        warmup or duration boundary, nor :data:`MAX_TRAIN_WALL_NS`.
+
+        Uses the learned per-burst wall estimate; before any observation
+        the train is one burst anyway, so no clipping is needed.
+        """
+        estimate = self._per_burst_wall
+        if not estimate or estimate <= 0:
+            return cap
+        cap = min(cap, max(1, int(MAX_TRAIN_WALL_NS / estimate)))
+        for boundary in (warmup_ns, duration_ns):
+            if now_ns < boundary:
+                cap = min(cap, max(1, int((boundary - now_ns) / estimate)))
+                break
+        return cap

@@ -6,6 +6,11 @@ landed) and pin the fast-path kernel to the exact floating-point results
 of the original straight-line code.  If any of these change, an
 "optimization" altered simulation behaviour — that is a bug, not a
 baseline refresh.
+
+Every call pins ``accuracy="exact"``: the goldens define the exact mode,
+regardless of the REPRO_ACCURACY process default (the CI matrix runs the
+suite under both modes).  Adaptive-vs-exact fidelity is covered by
+``test_batching.py``.
 """
 
 from __future__ import annotations
@@ -16,7 +21,7 @@ D = 10_000_000  # 10 ms simulated
 
 
 def test_tcp_rx_ioctopus_golden():
-    assert run_tcp_stream("ioctopus", 4096, "rx", D, seed=0) == {
+    assert run_tcp_stream("ioctopus", 4096, "rx", D, seed=0, accuracy="exact") == {
         "throughput_gbps": 17.702430117647058,
         "membw_gbps": 0.0,
         "cpu_cores": 0.9999417647058824,
@@ -24,7 +29,7 @@ def test_tcp_rx_ioctopus_golden():
 
 
 def test_tcp_rx_remote_golden():
-    assert run_tcp_stream("remote", 4096, "rx", D, seed=3) == {
+    assert run_tcp_stream("remote", 4096, "rx", D, seed=3, accuracy="exact") == {
         "throughput_gbps": 14.433340235294118,
         "membw_gbps": 46.61235952941176,
         "cpu_cores": 1.0,
@@ -32,7 +37,7 @@ def test_tcp_rx_remote_golden():
 
 
 def test_tcp_tx_local_golden():
-    assert run_tcp_stream("local", 4096, "tx", D, seed=1) == {
+    assert run_tcp_stream("local", 4096, "tx", D, seed=1, accuracy="exact") == {
         "throughput_gbps": 16.160406588235293,
         "membw_gbps": 4.357123764705882,
         "cpu_cores": 0.9981475294117647,
@@ -40,7 +45,7 @@ def test_tcp_tx_local_golden():
 
 
 def test_pktgen_remote_golden():
-    assert run_pktgen("remote", 256, D, seed=0) == {
+    assert run_pktgen("remote", 256, D, seed=0, accuracy="exact") == {
         "throughput_gbps": 6.214354823529412,
         "mpps": 3.0343529411764707,
         "membw_gbps": 9.34580705882353,
@@ -48,7 +53,7 @@ def test_pktgen_remote_golden():
 
 
 def test_pktgen_ioctopus_golden():
-    assert run_pktgen("ioctopus", 1500, D, seed=7) == {
+    assert run_pktgen("ioctopus", 1500, D, seed=7, accuracy="exact") == {
         "throughput_gbps": 48.60988235294118,
         "mpps": 4.0508235294117645,
         "membw_gbps": 0.0,
@@ -57,16 +62,16 @@ def test_pktgen_ioctopus_golden():
 
 def test_tcp_rr_golden():
     assert run_tcp_rr("local", "local", True, 1024, D,
-                      seed=0) == 9892.324796274737
+                      seed=0, accuracy="exact") == 9892.324796274737
 
 
 def test_tcp_rr_no_ddio_golden():
     assert run_tcp_rr("remote", "remote", False, 64, D,
-                      seed=2) == 9682.681093394078
+                      seed=2, accuracy="exact") == 9682.681093394078
 
 
 def test_repeat_run_is_identical():
     """Same seed twice in one process: the pool must not leak state."""
-    first = run_pktgen("ioctopus", 256, D, seed=5)
-    second = run_pktgen("ioctopus", 256, D, seed=5)
+    first = run_pktgen("ioctopus", 256, D, seed=5, accuracy="exact")
+    second = run_pktgen("ioctopus", 256, D, seed=5, accuracy="exact")
     assert second == first

@@ -70,6 +70,33 @@ def test_impairment_losses_are_seed_deterministic():
         [b.losses(100) for _ in range(5)]
 
 
+def test_impairment_batch_draw_matches_per_packet_reference():
+    """The vectorised losses() must consume the identical RNG stream and
+    classify each draw exactly like the original per-packet loop."""
+    from repro.nic.wire import WireImpairment
+    from repro.sim.rng import SimRandom
+    p_loss, p_corrupt = 0.05, 0.03
+    imp = WireImpairment(SimRandom(9), loss_probability=p_loss,
+                         corrupt_probability=p_corrupt)
+    reference = SimRandom(9)
+    for npackets in (1, 7, 64, 1000):
+        lost = corrupted = 0
+        for _ in range(npackets):
+            draw = reference.random()
+            if draw < p_loss:
+                lost += 1
+            elif draw < p_loss + p_corrupt:
+                corrupted += 1
+        assert imp.losses(npackets) == (lost, corrupted)
+
+
+def test_impairment_losses_zero_packets():
+    from repro.nic.wire import WireImpairment
+    from repro.sim.rng import SimRandom
+    imp = WireImpairment(SimRandom(3), loss_probability=0.5)
+    assert imp.losses(0) == (0, 0)
+
+
 def test_impaired_wire_charges_retransmits():
     from repro.sim.rng import SimRandom
     env = Environment()

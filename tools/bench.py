@@ -7,9 +7,12 @@ Usage::
     python tools/bench.py --fidelity normal --jobs 8
     python tools/bench.py --check benchmarks/perf/BENCH_2026-08-05.json
 
-With ``--check BASELINE`` the exit status is 1 when events/sec drops, or
-serial figure wall-clock grows, by more than ``--threshold`` (default
-20%) against the baseline report.
+With ``--check BASELINE`` the exit status is 1 when events/sec drops,
+events-per-packet grows, serial figure wall-clock grows by more than
+``--threshold`` (default 20%) against the baseline report, or the
+adaptive train fast path no longer cuts events-per-packet by at least
+its floor (see ``perf.harness.ADAPTIVE_REDUCTION_FLOOR``) on the fig08
+pktgen point.
 """
 
 from __future__ import annotations
