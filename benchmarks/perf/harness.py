@@ -32,8 +32,10 @@ from repro.os_model.netstack import MSS
 from repro.workloads.netperf import TcpStream
 from repro.workloads.pktgen import Pktgen
 
-#: Figures whose sweep wall-clock the harness tracks.
-FIGURES = ("fig06", "fig08")
+#: Figures whose sweep wall-clock the harness tracks.  fig15 exercises
+#: the NVMe leg of the octo-device core (fio batches through the shared
+#: doorbell/completion paths) alongside the two network figures.
+FIGURES = ("fig06", "fig08", "fig15")
 
 #: Regression gate: fail when events/sec drops, or serial wall-clock
 #: grows, by more than this fraction vs the baseline.

@@ -1,8 +1,10 @@
 """The octoNIC team driver: IOctopus mode (§4.2).
 
-The driver presents a multi-PF octoNIC as **one** netdevice.  It keeps one
-queue pair per core, each bound to the PF local to that core's socket, and
-piggybacks on the stack's existing callbacks:
+The driver presents a multi-PF octoNIC as **one** netdevice.  The
+teaming policy itself — per-core queues bound to the socket-local PF,
+PF hot-unplug re-homing with drain-before-resteer, recovery — is the
+device-generic :class:`~repro.device.team.OctoTeam`; this class adds
+the NIC personality on top:
 
 * XPS hands it transmits on the current core's queue -> the local PF.
 * The ARFS migration callback triggers both a per-PF ARFS update and an
@@ -10,66 +12,53 @@ piggybacks on the stack's existing callbacks:
   after the old queue drains, so packets never reorder (§4.2 "Receive").
 * A periodic worker expires idle rules from the driver tables and the
   device, mirroring the Linux ARFS garbage collector.
+* On failover/recovery, the deferred re-steer plan re-points every live
+  ARFS and IOctoRFS rule at the surviving (or recovered) PF's tables.
 
-Fault tolerance: the driver registers for the device's PF hot-unplug
-notifications.  When a PF dies it re-homes that socket's queues onto a
-surviving PF, re-registers the default (RSS) queue lists, and — after the
-dead PF's queues drain, so packets never reorder — re-points every live
-ARFS and IOctoRFS rule.  The netdev stays up at nonuniform-DMA (`remote`)
-throughput instead of disappearing; on PF recovery the mapping is undone
-the same way and full octopus throughput returns.
+Either way the netdev stays up at nonuniform-DMA (`remote`) throughput
+instead of disappearing; on PF recovery the mapping is undone the same
+way and full octopus throughput returns.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List
 
+from repro.device.team import OctoTeam, ResteerPlan
 from repro.nic.device import NicDevice
 from repro.nic.firmware import OctoFirmware
 from repro.nic.packet import Flow
-from repro.nic.rings import QueueSet
+from repro.nic.rings import QueueSet, RxQueue
 from repro.os_model.driver import NetDriver
 from repro.pcie.fabric import PhysicalFunction
-from repro.sim.errors import DeviceGoneError
 from repro.topology.machine import Core, Machine
 
 #: Default idle time before a steering rule is garbage-collected.
 RULE_IDLE_NS = 500_000_000  # 500 ms, matching ARFS defaults
 
 
-class OctoTeamDriver(NetDriver):
+class OctoTeamDriver(OctoTeam, NetDriver):
     """The IOctopus-mode team driver (one netdev over all PFs)."""
 
     name = "octo-team"
+    team_label = "octoNIC"
+    team_noun = "netdev"
 
     def __init__(self, machine: Machine, device: NicDevice,
                  allow_degraded: bool = False):
-        super().__init__(machine, device)
+        NetDriver.__init__(self, machine, device)
         if not isinstance(device.firmware, OctoFirmware):
             raise TypeError(
                 "OctoTeamDriver requires a device running OctoFirmware; "
                 f"got {type(device.firmware).__name__}")
-        missing = [n for n in range(machine.spec.num_nodes)
-                   if device.pf_local_to(n) is None
-                   or not device.pf_local_to(n).alive]
-        if missing and not allow_degraded:
-            raise ValueError(
-                f"octoNIC needs a PF on every node; missing {missing} "
-                f"(pass allow_degraded=True to run those sockets through "
-                f"a remote PF)")
-        if not device.alive_pfs:
-            raise ValueError("octoNIC has no usable PF at all")
+        self._init_team(machine, device, allow_degraded)
         self.queues = QueueSet(machine, machine.cores,
                                pf_for_core=self._pf_for_core)
         self._register_defaults()
         self._expiry_process = None
-        #: Completed PF failovers / recoveries (exposed for tests/metrics).
-        self.failovers = 0
-        self.recoveries = 0
         #: Steering rules dropped by the expiry worker.
         self.rules_expired = 0
-        device.add_pf_listener(on_failure=self._on_pf_failure,
-                               on_recovery=self._on_pf_recovery)
+        self._team_listen()
 
     def dst_mac(self) -> str:
         return OctoFirmware.MAC
@@ -96,26 +85,18 @@ class OctoTeamDriver(NetDriver):
         else:
             self._apply_after(self._drain_delay_ns(old_queue), apply)
 
-    # ----------------------------------------------------- queue homing
+    # ------------------------------------------------- teaming personality
 
-    def _pf_for_core(self, core: Core) -> PhysicalFunction:
-        """The PF serving ``core``: its socket's PF when alive, else the
-        lowest-numbered surviving PF (nonuniform, but functional)."""
-        local = self.device.pf_local_to(core.node_id)
-        if local is not None and local.alive:
-            return local
-        fallback = self._fallback_pf()
-        if fallback is None:
-            raise DeviceGoneError(
-                f"octoNIC: no surviving PF to serve core {core.core_id}")
-        return fallback
+    def _team_queues(self) -> List:
+        return self.queues.rx + self.queues.tx
 
-    def _fallback_pf(self, exclude: Optional[PhysicalFunction] = None) -> (
-            Optional[PhysicalFunction]):
-        for pf in self.device.pfs:
-            if pf.alive and pf is not exclude:
-                return pf
-        return None
+    def _drainable(self, queues: List) -> List:
+        # Only receive queues gate the re-steer: §4.2's no-reorder rule
+        # is about packets already DMA-written to the old Rx queue.
+        return [q for q in queues if isinstance(q, RxQueue)]
+
+    def _after_rehome(self) -> None:
+        self._register_defaults()
 
     def _register_defaults(self) -> None:
         """(Re-)register each surviving PF's default queue list with the
@@ -126,30 +107,11 @@ class OctoTeamDriver(NetDriver):
                         if q.pf is pf] if pf.alive else []
             firmware.register_default_queues(pf.pf_id, local_rx)
 
-    # ------------------------------------------------------- PF failover
-
-    def _on_pf_failure(self, pf: PhysicalFunction) -> None:
-        """Device callback: ``pf`` was surprise-removed.
-
-        Queue re-homing and default-queue registration are immediate (the
-        hot-unplug handler); the per-flow rule re-steer is deferred until
-        the dead PF's queues drain, preserving §4.2's no-reorder rule.
-        """
+    def _plan_failover_resteer(self, pf: PhysicalFunction,
+                               fallback: PhysicalFunction) -> ResteerPlan:
         firmware: OctoFirmware = self.device.firmware
-        fallback = self._fallback_pf(exclude=pf)
-        if fallback is None:
-            self._trace("failover.dead_netdev",
-                        f"pf{pf.pf_id} was the last PF; netdev down")
-            return
-        moved_rx = [q for q in self.queues.rx if q.pf is pf]
-        moved_tx = [q for q in self.queues.tx if q.pf is pf]
-        for queue in moved_rx + moved_tx:
-            queue.pf = fallback
-        self._register_defaults()
-
         arfs_rules = firmware.arfs[pf.pf_id].snapshot()
         flows = firmware.mpfs.flows_on_pf(pf.pf_id)
-        drain = max((self._drain_delay_ns(q) for q in moved_rx), default=0)
 
         def apply():
             now = self.env.now
@@ -158,32 +120,15 @@ class OctoTeamDriver(NetDriver):
                 firmware.arfs_update(fallback.pf_id, flow, queue, now=now)
             for flow in flows:
                 firmware.ioctorfs_update(flow, fallback.pf_id, now=now)
-            self.failovers += 1
-            self._trace("failover.applied",
-                        f"pf{pf.pf_id}->pf{fallback.pf_id} "
-                        f"flows={len(flows)} arfs={len(arfs_rules)}")
 
-        self._trace("failover.begin",
-                    f"pf{pf.pf_id}->pf{fallback.pf_id} "
-                    f"queues={len(moved_rx) + len(moved_tx)} "
-                    f"drain_ns={drain}")
-        self._apply_after(drain, apply)
+        return apply, f"flows={len(flows)} arfs={len(arfs_rules)}"
 
-    def _on_pf_recovery(self, pf: PhysicalFunction) -> None:
-        """Device callback: ``pf`` came back.  Re-home its socket's
-        queues and re-steer their flows, again after a drain."""
+    def _plan_recovery_resteer(self, pf: PhysicalFunction,
+                               drainable: List) -> ResteerPlan:
         firmware: OctoFirmware = self.device.firmware
-        back_rx = [q for q in self.queues.rx
-                   if q.core.node_id == pf.attach_node and q.pf is not pf]
-        back_tx = [q for q in self.queues.tx
-                   if q.core.node_id == pf.attach_node and q.pf is not pf]
-        for queue in back_rx + back_tx:
-            queue.pf = pf
-        self._register_defaults()
-
         # Rules whose queue just moved home: re-point them to the
         # recovered PF's tables once the interim queue drains.
-        moved_queues = set(id(q) for q in back_rx)
+        moved_queues = set(id(q) for q in drainable)
         resteer = []
         for other_id in range(firmware.num_pfs):
             if other_id == pf.pf_id:
@@ -191,7 +136,6 @@ class OctoTeamDriver(NetDriver):
             for flow, queue in firmware.arfs[other_id].snapshot():
                 if id(queue) in moved_queues:
                     resteer.append((other_id, flow, queue))
-        drain = max((self._drain_delay_ns(q) for q in back_rx), default=0)
 
         def apply():
             now = self.env.now
@@ -199,17 +143,8 @@ class OctoTeamDriver(NetDriver):
                 firmware.arfs_remove(old_pf_id, flow)
                 firmware.arfs_update(pf.pf_id, flow, queue, now=now)
                 firmware.ioctorfs_update(flow, pf.pf_id, now=now)
-            self.recoveries += 1
-            self._trace("recovery.applied",
-                        f"pf{pf.pf_id} flows={len(resteer)}")
 
-        self._trace("recovery.begin",
-                    f"pf{pf.pf_id} queues={len(back_rx) + len(back_tx)} "
-                    f"drain_ns={drain}")
-        self._apply_after(drain, apply)
-
-    def _trace(self, event: str, detail: str) -> None:
-        self.machine.tracer.emit(self.env.now, self.name, event, detail)
+        return apply, f"flows={len(resteer)}"
 
     # --------------------------------------------------------- rule expiry
 

@@ -1,0 +1,34 @@
+"""The generic octo-device core (§5.4, §6).
+
+The IOctopus principle is not NIC-specific: any DMA device with one PCIe
+physical function per socket can steer every command and data transfer
+through the PF local to the submitting core.  This package holds the
+device-generic layer both personalities (the octoNIC and the octoSSD)
+plug into:
+
+* :class:`MultiPfDevice`   — PFs, hot-unplug/replug notification fan-out.
+* :class:`DmaQueuePair`    — ring + data regions with DDIO-aware
+  completion reads and per-queue interrupt moderation.
+* :class:`DoorbellPath`    — MMIO submission cost through the serving PF.
+* :class:`CompletionPath`  — DMA completion write + interrupt-or-poll
+  delivery.
+* :class:`OctoTeam`        — per-core queues bound to the socket-local
+  PF, PF hot-unplug re-homing with drain-before-resteer, recovery.
+* :class:`DeviceDriver`    — host-side driver base (retry backoff,
+  deferred steering workers, counters).
+"""
+
+from repro.device.base import MultiPfDevice
+from repro.device.driver import DeviceDriver
+from repro.device.paths import CompletionPath, DoorbellPath
+from repro.device.qp import DmaQueuePair
+from repro.device.team import OctoTeam
+
+__all__ = [
+    "CompletionPath",
+    "DeviceDriver",
+    "DmaQueuePair",
+    "DoorbellPath",
+    "MultiPfDevice",
+    "OctoTeam",
+]

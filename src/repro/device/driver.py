@@ -1,0 +1,77 @@
+"""Host-side driver base shared by every octo-device personality.
+
+The pieces of :mod:`repro.os_model.driver` that never mentioned a
+packet: retry backoff against dead hardware (the PCIe AER/hotplug
+recovery discipline), the asynchronous kernel worker that applies
+deferred steering updates, and the standard counters every driver
+exposes to tests and metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.device.paths import CompletionPath, DoorbellPath
+from repro.sim.errors import DeviceGoneError, DeviceTimeoutError
+
+
+class DeviceDriver:
+    """Base class for host-side drivers of a :class:`MultiPfDevice`."""
+
+    name = "base"
+
+    def __init__(self, machine, device):
+        self.machine = machine
+        self.device = device
+        self.env = machine.env
+        #: Submission/completion cost paths (shared across this driver's
+        #: queues; per-queue state lives on the queues themselves).
+        self.doorbell = DoorbellPath(machine)
+        self.completion = CompletionPath(machine,
+                                         machine.spec.software.irq_ns)
+        #: Count of steering updates applied (exposed for tests/metrics).
+        self.steering_updates = 0
+        #: Count of backed-off retries against dead hardware.
+        self.retries = 0
+
+    # -------------------------------------------------------------- API
+
+    def call_with_retry(self, operation: Callable, max_attempts: int = 6,
+                        base_backoff_ns: int = 2_000):
+        """Run ``operation`` with exponential backoff on dead hardware.
+
+        A generator for use inside sim processes::
+
+            result = yield from driver.call_with_retry(
+                lambda: device.tx(queue, region, n, size))
+
+        Each :class:`DeviceGoneError` attempt backs off twice as long as
+        the previous one (the PCIe AER/hotplug recovery discipline);
+        after ``max_attempts`` failures the operation is abandoned with
+        :class:`DeviceTimeoutError`.
+        """
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        last_error: Optional[DeviceGoneError] = None
+        for attempt in range(max_attempts):
+            try:
+                return operation()
+            except DeviceGoneError as error:
+                last_error = error
+            if attempt < max_attempts - 1:
+                self.retries += 1
+                yield self.env.timeout(base_backoff_ns << attempt)
+        raise DeviceTimeoutError(
+            f"{self.name}: operation still failing after {max_attempts} "
+            f"attempts ({last_error})")
+
+    # --------------------------------------------------------- internals
+
+    def _apply_after(self, delay_ns: int, apply_fn) -> None:
+        """Run ``apply_fn`` after ``delay_ns`` via an asynchronous kernel
+        worker — the deferred-steering discipline of §4.2."""
+        def worker():
+            yield self.env.timeout(delay_ns)
+            apply_fn()
+            self.steering_updates += 1
+        self.env.process(worker(), name=f"{self.name}-steer-worker")

@@ -1,0 +1,74 @@
+"""Submission and completion paths shared by every octo-device.
+
+The two halves of any DMA device's command loop, with the costs the
+paper's analysis decomposes (§5.1.1):
+
+* :class:`DoorbellPath` — the posted MMIO write that tells the device
+  new work is queued.  Crossing the interconnect to reach a remote PF is
+  one of the nonuniform interactions Fig 1 depicts.
+* :class:`CompletionPath` — the device's DMA write of completion
+  entries into the queue's ring, plus the host's cost of consuming
+  them: interrupt delivery (moderated per queue) and the completion
+  reads that hit in DDIO when the serving PF is local and miss (~80 ns)
+  when it is not.
+"""
+
+from __future__ import annotations
+
+from repro.units import CACHELINE
+
+
+class DoorbellPath:
+    """MMIO doorbell writes through each queue's serving PF."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        #: Doorbells rung (exposed for tests/metrics).
+        self.rings = 0
+
+    def ring(self, queue, from_node: int, times: int = 1) -> int:
+        """CPU ns for ``times`` identical doorbell writes from a core on
+        ``from_node``.  One latency sample is taken and scaled — the
+        writes are identical posted TLPs on the same route."""
+        if times < 1:
+            raise ValueError(f"times must be >= 1, got {times}")
+        self.rings += times
+        return times * queue.pf.mmio_latency(from_node)
+
+
+class CompletionPath:
+    """Completion delivery: DMA write-back plus host-side consumption."""
+
+    def __init__(self, machine, irq_ns: int):
+        self.machine = machine
+        self.irq_ns = irq_ns
+        #: Interrupts delivered / completion entries consumed.
+        self.interrupts = 0
+        self.entries = 0
+
+    # ----------------------------------------------------- device side
+
+    def write_back(self, queue, ndesc: int) -> int:
+        """Device-side delay of DMA-writing ``ndesc`` completion entries
+        into the queue's ring through its serving PF."""
+        if ndesc < 1:
+            raise ValueError(f"ndesc must be >= 1, got {ndesc}")
+        return queue.pf.dma_write(queue.ring, ndesc * CACHELINE)
+
+    # ------------------------------------------------------- host side
+
+    def consume(self, queue, ndesc: int, node: int) -> int:
+        """CPU ns to read ``ndesc`` completion entries on ``node``
+        (poll-mode consumption; DDIO decides hit or miss)."""
+        self.entries += ndesc
+        return ndesc * queue.completion_read_ns(node)
+
+    def interrupt(self, queue, nper_burst: int, nbursts: int,
+                  now_ns: int) -> int:
+        """CPU ns of interrupt delivery for ``nbursts`` back-to-back
+        bursts of ``nper_burst`` completions, moderated by the queue's
+        adaptive coalescing state."""
+        interrupts = queue.moderation.interrupts_for_train(
+            nper_burst, nbursts, now_ns)
+        self.interrupts += interrupts
+        return interrupts * self.irq_ns

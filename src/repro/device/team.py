@@ -1,0 +1,196 @@
+"""Generic multi-PF teaming: the IOctopus policy for any device (§4.2).
+
+An :class:`OctoTeam` presents a multi-PF device as **one** logical
+device.  Per-core queues are bound to the PF local to each core's
+socket, so every doorbell, DMA and completion stays on-socket; the NIC
+and NVMe personalities differ only in what rides on top (steering rule
+tables for the NIC, nothing extra for NVMe).
+
+Fault tolerance is device-generic: the team registers for the device's
+PF hot-unplug notifications.  When a PF dies its queues are re-homed
+onto a surviving PF immediately (the hot-unplug handler), and any
+per-flow re-steering a personality needs is deferred until the dead
+PF's queues drain — §4.2's no-reorder rule.  On PF recovery the mapping
+is undone the same way and full octopus locality returns.
+
+Personalities implement four hooks:
+
+* :meth:`_team_queues`            — every queue the team manages.
+* :meth:`_drainable`              — which of a moved set gate the
+  deferred re-steer (the NIC drains Rx only; NVMe drains every QP).
+* :meth:`_after_rehome`           — device-side re-registration (the
+  NIC re-registers per-PF default RSS queue lists).
+* :meth:`_plan_failover_resteer` / :meth:`_plan_recovery_resteer` —
+  the deferred rule updates, returned as ``(apply_fn, detail)`` where
+  ``detail`` is the trace payload logged when the plan applies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.pcie.fabric import PhysicalFunction
+from repro.sim.errors import DeviceGoneError
+
+#: A deferred re-steer: the mutation to run after the drain, plus the
+#: trace detail recorded when it applies.
+ResteerPlan = Tuple[Callable[[], None], str]
+
+
+class OctoTeam:
+    """Mixin holding the generic teaming policy over a MultiPfDevice.
+
+    Mixed into a driver class that provides ``machine``, ``device``,
+    ``env``, ``name``, ``steering_updates`` and ``_apply_after`` (see
+    :class:`repro.device.driver.DeviceDriver`).
+    """
+
+    #: Label used in configuration/error messages ("octoNIC", "octoSSD").
+    team_label = "octo-device"
+    #: What the team presents to its consumers — traced when the last PF
+    #: dies ("netdev" for the NIC, "device" for storage).
+    team_noun = "device"
+
+    def _init_team(self, machine, device, allow_degraded: bool) -> None:
+        """Validate PF coverage and reset the failover counters.  Call
+        before building queues; pair with :meth:`_team_listen` once the
+        queues exist."""
+        missing = [n for n in range(machine.spec.num_nodes)
+                   if device.pf_local_to(n) is None
+                   or not device.pf_local_to(n).alive]
+        if missing and not allow_degraded:
+            raise ValueError(
+                f"{self.team_label} needs a PF on every node; missing "
+                f"{missing} (pass allow_degraded=True to run those "
+                f"sockets through a remote PF)")
+        if not device.alive_pfs:
+            raise ValueError(
+                f"{self.team_label} has no usable PF at all")
+        #: Completed PF failovers / recoveries (exposed for tests/metrics).
+        self.failovers = 0
+        self.recoveries = 0
+
+    def _team_listen(self) -> None:
+        """Register for the device's PF hot-unplug notifications."""
+        self.device.add_pf_listener(on_failure=self._on_pf_failure,
+                                    on_recovery=self._on_pf_recovery)
+
+    # ----------------------------------------------------- queue homing
+
+    def _pf_for_core(self, core) -> PhysicalFunction:
+        """The PF serving ``core``: its socket's PF when alive, else the
+        lowest-numbered surviving PF (nonuniform, but functional)."""
+        local = self.device.pf_local_to(core.node_id)
+        if local is not None and local.alive:
+            return local
+        fallback = self._fallback_pf()
+        if fallback is None:
+            raise DeviceGoneError(
+                f"{self.team_label}: no surviving PF to serve core "
+                f"{core.core_id}")
+        return fallback
+
+    def _fallback_pf(self, exclude: Optional[PhysicalFunction] = None) -> (
+            Optional[PhysicalFunction]):
+        for pf in self.device.pfs:
+            if pf.alive and pf is not exclude:
+                return pf
+        return None
+
+    # ------------------------------------------------------- PF failover
+
+    def _on_pf_failure(self, pf: PhysicalFunction) -> None:
+        """Device callback: ``pf`` was surprise-removed.
+
+        Queue re-homing and device-side re-registration are immediate
+        (the hot-unplug handler); the personality's re-steer plan is
+        deferred until the dead PF's queues drain, preserving §4.2's
+        no-reorder rule.
+        """
+        fallback = self._fallback_pf(exclude=pf)
+        if fallback is None:
+            self._trace(f"failover.dead_{self.team_noun}",
+                        f"pf{pf.pf_id} was the last PF; "
+                        f"{self.team_noun} down")
+            return
+        moved = [q for q in self._team_queues() if q.pf is pf]
+        for queue in moved:
+            queue.pf = fallback
+        self._after_rehome()
+
+        apply_resteer, detail = self._plan_failover_resteer(pf, fallback)
+        drain = max((self._drain_delay_ns(q)
+                     for q in self._drainable(moved)), default=0)
+
+        def apply():
+            apply_resteer()
+            self.failovers += 1
+            self._trace("failover.applied",
+                        f"pf{pf.pf_id}->pf{fallback.pf_id} {detail}")
+
+        self._trace("failover.begin",
+                    f"pf{pf.pf_id}->pf{fallback.pf_id} "
+                    f"queues={len(moved)} "
+                    f"drain_ns={drain}")
+        self._apply_after(drain, apply)
+
+    def _on_pf_recovery(self, pf: PhysicalFunction) -> None:
+        """Device callback: ``pf`` came back.  Re-home the queues it is
+        the home PF for and re-steer their flows, again after a drain."""
+        back = [q for q in self._team_queues()
+                if self._is_home_pf(pf, q) and q.pf is not pf]
+        for queue in back:
+            queue.pf = pf
+        self._after_rehome()
+
+        drainable = self._drainable(back)
+        apply_resteer, detail = self._plan_recovery_resteer(pf, drainable)
+        drain = max((self._drain_delay_ns(q) for q in drainable),
+                    default=0)
+
+        def apply():
+            apply_resteer()
+            self.recoveries += 1
+            self._trace("recovery.applied", f"pf{pf.pf_id} {detail}")
+
+        self._trace("recovery.begin",
+                    f"pf{pf.pf_id} queues={len(back)} "
+                    f"drain_ns={drain}")
+        self._apply_after(drain, apply)
+
+    def _trace(self, event: str, detail: str) -> None:
+        self.machine.tracer.emit(self.env.now, self.name, event, detail)
+
+    # ------------------------------------------------- personality hooks
+
+    def _team_queues(self) -> List:
+        """Every queue the team manages (each has ``.pf`` and ``.core``)."""
+        raise NotImplementedError
+
+    def _is_home_pf(self, pf: PhysicalFunction, queue) -> bool:
+        """Whether ``pf`` is the queue's home under the octopus policy
+        (the PF local to its core's socket)."""
+        return queue.core.node_id == pf.attach_node
+
+    def _drainable(self, queues: List) -> List:
+        """The subset of ``queues`` whose drain gates the deferred
+        re-steer (receive-direction queues for the NIC)."""
+        return queues
+
+    def _after_rehome(self) -> None:
+        """Device-side re-registration after queues changed PF."""
+
+    def _plan_failover_resteer(self, pf: PhysicalFunction,
+                               fallback: PhysicalFunction) -> ResteerPlan:
+        """Snapshot the rules living on ``pf`` and return the deferred
+        move onto ``fallback``."""
+        return (lambda: None), ""
+
+    def _plan_recovery_resteer(self, pf: PhysicalFunction,
+                               drainable: List) -> ResteerPlan:
+        """Return the deferred move of rules back onto recovered ``pf``."""
+        return (lambda: None), ""
+
+    # ``_drain_delay_ns(queue)`` is deliberately NOT stubbed here: the
+    # host class (a DeviceDriver subclass) provides it, and a stub would
+    # shadow it under cooperative MRO (OctoTeam precedes the driver).

@@ -9,6 +9,10 @@ discussion turns on:
   nodes, with and without per-fragment PF hints.
 * ``abl_octossd``— §5.4's future work: the fio-vs-STREAM experiment with
   dual-port octoSSDs instead of single-port drives.
+* ``abl_mixed_io``— NIC + NVMe colocation: TCP Rx and remote fio share
+  socket 1 while both devices attach per configuration; with standard
+  single-socket attachment the SSD fleet's DMA starves the TCP stream
+  on the shared UPI direction, one PF per socket removes the contention.
 * ``abl_ddio``   — sensitivity of local multi-flow Rx to LLC capacity
   (and with it the DDIO slice).
 * ``abl_window`` — sensitivity of congested remote Rx to the DMA
@@ -30,6 +34,9 @@ from repro.core.sg import (
 from repro.experiments.base import Experiment, ExperimentResult, register
 from repro.experiments.fig15_nvme import run_fio_point
 from repro.experiments.runners import run_tcp_stream, warmup_of
+from repro.nvme.device import NvmeController
+from repro.nvme.driver import NvmeDriver
+from repro.workloads.fio import spawn_fio_fleet
 from repro.nic.device import NicDevice
 from repro.nic.firmware import OctoFirmware
 from repro.nic.packet import Flow
@@ -142,6 +149,68 @@ class AblOctoSsd(Experiment):
             std, octo = runs[2 * i:2 * i + 2]
             result.add(streams, round(std["fio_gbps"] / base_std, 2),
                        round(octo["fio_gbps"] / base_octo, 2))
+        return result
+
+
+MIXED_SSDS = 4
+MIXED_FIO_THREADS = 8
+
+
+def run_mixed_io_point(config: str, duration_ns: int) -> dict:
+    """One colocation point: TCP Rx netperf plus fio on socket 1.
+
+    With ``config='remote'`` the NIC and the SSD fleet attach to socket
+    0 only, so the TCP payload DMA and the SSD read DMA share the same
+    UPI direction toward the workloads.  With ``config='ioctopus'`` both
+    devices have one PF per socket and neither transfer crosses it.
+    """
+    octo = config == "ioctopus"
+    testbed = Testbed(config)
+    host = testbed.server
+    machine = host.machine
+    warmup = duration_ns // 5
+    tcp = TcpStream(host, machine.cores_on_node(1)[0], Flow.make(0),
+                    64 * KB, "rx", duration_ns, warmup)
+    attach = [0, 1] if octo else [0]
+    ssds = [NvmeController(machine,
+                           bifurcate(machine, 8 * len(attach), attach,
+                                     name=f"ssd{i}"), name=f"ssd{i}")
+            for i in range(MIXED_SSDS)]
+    drivers = [NvmeDriver(machine, ssd, octo_mode=octo) for ssd in ssds]
+    fio_cores = machine.cores_on_node(1)[1:1 + MIXED_FIO_THREADS]
+    fleet = spawn_fio_fleet(host, fio_cores, drivers, duration_ns, warmup)
+    testbed.run(duration_ns + warmup)
+    return {
+        "tcp_gbps": tcp.throughput_gbps(),
+        "fio_gbps": sum(f.throughput_gbps() for f in fleet),
+    }
+
+
+@register
+class AblMixedIo(Experiment):
+    name = "abl_mixed_io"
+    paper_ref = "§2.2 + §5.4 (NUDMA compounds across devices)"
+    description = ("TCP Rx and remote fio colocated on one socket with "
+                   "the NIC and the SSD fleet attached standard (socket "
+                   "0 only) vs IOctopus (one PF per socket): on the "
+                   "shared UPI direction the SSD DMA starves the TCP "
+                   "stream; per-socket PFs restore it while fio stays "
+                   "flash-bound throughout")
+
+    def run(self, fidelity: str = "normal") -> ExperimentResult:
+        duration = self.duration_ns(fidelity) * 2
+        runs = self.sweep(run_mixed_io_point, [
+            dict(config=config, duration_ns=duration)
+            for config in ("remote", "ioctopus")])
+        result = self.result(
+            ["config", "tcp_gbps", "fio_gbps", "combined_gbps"],
+            notes="TCP Rx (64 KB messages) on core 1/0 plus "
+                  f"{MIXED_FIO_THREADS} fio threads over {MIXED_SSDS} "
+                  "SSDs on the same socket")
+        for config, point in zip(("remote", "ioctopus"), runs):
+            result.add(config, round(point["tcp_gbps"], 1),
+                       round(point["fio_gbps"], 1),
+                       round(point["tcp_gbps"] + point["fio_gbps"], 1))
         return result
 
 

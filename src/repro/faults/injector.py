@@ -12,8 +12,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.device.base import MultiPfDevice
 from repro.faults.plan import FaultPlan, FaultSpec
-from repro.nic.device import NicDevice
 from repro.nic.wire import EthernetWire
 from repro.sim.engine import Environment
 from repro.sim.rng import SimRandom
@@ -25,7 +25,7 @@ class FaultInjector:
     """Fires a fault plan against a device / wire / machine triple."""
 
     def __init__(self, env: Environment, plan: FaultPlan,
-                 device: Optional[NicDevice] = None,
+                 device: Optional[MultiPfDevice] = None,
                  wire: Optional[EthernetWire] = None,
                  machine: Optional[Machine] = None,
                  rng: Optional[SimRandom] = None,

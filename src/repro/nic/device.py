@@ -5,16 +5,22 @@ NIC: loaded with :class:`~repro.nic.firmware.StandardFirmware` it behaves
 as two independent netdevs (one per PF); loaded with
 :class:`~repro.nic.firmware.OctoFirmware` it is the octoNIC (Fig 4): one
 port, one MAC, and an IOctoRFS steering switch in front of the PFs.
+
+PF bookkeeping and the hot-unplug/replug notification fan-out come from
+the generic :class:`~repro.device.base.MultiPfDevice`; this class adds
+the packet personality — firmware steering, the wire, and the Rx/Tx
+DMA pipelines.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.device.base import MultiPfDevice
 from repro.memory.region import Region
 from repro.nic.firmware import BaseFirmware, OctoFirmware
 from repro.nic.packet import Flow
-from repro.nic.rings import NicQueue, RxQueue, TxQueue
+from repro.nic.rings import RxQueue, TxQueue
 from repro.nic.wire import EthernetWire
 from repro.pcie.fabric import PhysicalFunction
 from repro.units import CACHELINE
@@ -23,8 +29,10 @@ from repro.units import CACHELINE
 PIPELINE_NS_PER_PKT = 6
 
 
-class NicDevice:
+class NicDevice(MultiPfDevice):
     """A (possibly multi-PF) Ethernet NIC."""
+
+    kind = "nic"
 
     def __init__(self, machine, pfs: List[PhysicalFunction],
                  firmware: BaseFirmware, wire: Optional[EthernetWire] = None,
@@ -37,88 +45,29 @@ class NicDevice:
                 f"{len(pfs)}")
         if wire_side not in ("a", "b"):
             raise ValueError(f"wire_side must be 'a' or 'b', got {wire_side}")
-        self.machine = machine
-        self.pfs = pfs
+        super().__init__(machine, pfs, name)
         self.firmware = firmware
         self.wire = wire
         self.wire_side = wire_side
-        self.name = name
-        for pf in pfs:
-            pf.device = self
         self._pf_rx_bytes: Dict[int, int] = {pf.pf_id: 0 for pf in pfs}
         self._pf_tx_bytes: Dict[int, int] = {pf.pf_id: 0 for pf in pfs}
         self._pf_window_rx: Dict[int, int] = {pf.pf_id: 0 for pf in pfs}
         self._window_start = machine.env.now
-        #: Drivers register here to learn about PF hot-unplug/replug.
-        self._pf_failure_callbacks: List[Callable] = []
-        self._pf_recovery_callbacks: List[Callable] = []
 
     # ------------------------------------------------------------ helpers
-
-    @property
-    def env(self):
-        return self.machine.env
-
-    def pf(self, pf_id: int) -> PhysicalFunction:
-        return self.pfs[pf_id]
 
     def mac_for_pf(self, pf_id: int) -> str:
         if isinstance(self.firmware, OctoFirmware):
             return OctoFirmware.MAC
         return self.firmware.macs[pf_id]
 
-    def pf_local_to(self, node: int) -> Optional[PhysicalFunction]:
-        for pf in self.pfs:
-            if pf.attach_node == node:
-                return pf
-        return None
-
     # ------------------------------------------------------- fault model
 
-    @property
-    def alive_pfs(self) -> List[PhysicalFunction]:
-        return [pf for pf in self.pfs if pf.alive]
-
-    def pf_alive(self, pf_id: int) -> bool:
-        return self.pfs[pf_id].alive
-
-    def add_pf_listener(self, on_failure: Optional[Callable] = None,
-                        on_recovery: Optional[Callable] = None) -> None:
-        """Register driver callbacks for PF removal/recovery.  Each is
-        called with the affected :class:`PhysicalFunction`."""
-        if on_failure is not None:
-            self._pf_failure_callbacks.append(on_failure)
-        if on_recovery is not None:
-            self._pf_recovery_callbacks.append(on_recovery)
-
-    def surprise_remove(self, pf_id: int,
-                        cause: str = "surprise-remove") -> None:
-        """Hot-unplug one PF: its PCIe presence vanishes mid-run.
-
-        The PF and firmware stop accepting work through it, then the
-        registered drivers get a chance to fail over.
-        """
-        pf = self.pfs[pf_id]
-        if not pf.alive:
-            raise ValueError(f"PF {pf_id} is already removed")
-        pf.fail()
+    def _pf_failed(self, pf_id: int) -> None:
         self.firmware.fail_pf(pf_id)
-        self.machine.tracer.emit(self.env.now, self.name, "nic.pf_down",
-                                 f"pf{pf_id} cause={cause}")
-        for callback in self._pf_failure_callbacks:
-            callback(pf)
 
-    def recover_pf(self, pf_id: int) -> None:
-        """Replug a removed PF (link retrained, function re-enumerated)."""
-        pf = self.pfs[pf_id]
-        if pf.alive:
-            raise ValueError(f"PF {pf_id} is not removed")
-        pf.recover()
+    def _pf_recovered(self, pf_id: int) -> None:
         self.firmware.recover_pf(pf_id)
-        self.machine.tracer.emit(self.env.now, self.name, "nic.pf_up",
-                                 f"pf{pf_id}")
-        for callback in self._pf_recovery_callbacks:
-            callback(pf)
 
     # ----------------------------------------------------------- receive
 

@@ -1,7 +1,8 @@
 """Per-core NIC queues and their descriptor rings.
 
-Each queue owns two memory regions, allocated on the node of the core it
-serves (the XPS/ARFS locality policy, §2.3):
+Each queue is a :class:`~repro.device.qp.DmaQueuePair` — the generic
+octo-device ring — plus the NIC-specific data regions, allocated on the
+node of the core it serves (the XPS/ARFS locality policy, §2.3):
 
 * a **ring** region holding request + completion descriptors, and
 * a **buffer** region holding packet payloads (Rx only; Tx reads payload
@@ -12,9 +13,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.memory.region import Region
-from repro.nic.moderation import AdaptiveCoalescing
-from repro.units import CACHELINE, KB
+from repro.device.qp import DmaQueuePair
+from repro.units import KB
 
 #: Descriptors per ring (100 GbE drivers default to deep rings).
 RING_ENTRIES = 4096
@@ -22,54 +22,15 @@ RING_ENTRIES = 4096
 RX_BUFFER_SLOT = 2 * KB
 
 
-class NicQueue:
+class NicQueue(DmaQueuePair):
     """Base class for Tx/Rx queues."""
 
     direction = "?"
 
     def __init__(self, queue_id: int, core, machine, pf=None):
-        self.queue_id = queue_id
-        self.core = core
-        self.machine = machine
-        #: The PF this queue is currently served by (set by the driver).
-        self.pf = pf
-        self.ring = machine.alloc_region(
-            f"{self.direction}ring{queue_id}", core.node_id,
-            RING_ENTRIES * CACHELINE)
-        #: Per-queue adaptive interrupt moderation (§5: enabled for the
-        #: throughput experiments, disabled for latency).
-        self.moderation = AdaptiveCoalescing()
-        #: Outstanding descriptors not yet consumed (for drain tracking).
-        self.outstanding = 0
-        self.bytes_total = 0
-        self.packets_total = 0
-
-    @property
-    def node_id(self) -> int:
-        return self.core.node_id
-
-    def is_drained(self) -> bool:
-        """True when no descriptors are outstanding — the precondition
-        both XPS and ARFS wait for before re-steering a socket, to avoid
-        out-of-order delivery (§2.3)."""
-        return self.outstanding == 0
-
-    def account(self, npackets: int, nbytes: int) -> None:
-        self.packets_total += npackets
-        self.bytes_total += nbytes
-
-    def descriptors_until_wrap(self) -> int:
-        """Descriptors left before the producer index wraps the ring.
-
-        A coalesced packet train must not cross a queue wrap: the wrap is
-        where real drivers re-arm doorbells and recycle completions, so
-        the train planner caps a train at this many descriptors.
-        """
-        return RING_ENTRIES - (self.packets_total % RING_ENTRIES)
-
-    def __repr__(self) -> str:
-        return (f"<{type(self).__name__} {self.queue_id} "
-                f"core={self.core.core_id} pf={getattr(self.pf, 'name', None)}>")
+        super().__init__(queue_id, core, machine, pf,
+                         ring_name=f"{self.direction}ring{queue_id}",
+                         ring_entries=RING_ENTRIES)
 
 
 class RxQueue(NicQueue):

@@ -1,16 +1,20 @@
 """NVMe models: controllers (dual-port capable) and the block driver."""
 
 from repro.nvme.device import (
+    DEFAULT_QP_DATA_BYTES,
     FLASH_BYTES_PER_SEC,
     FLASH_READ_LATENCY_NS,
+    NVME_RING_ENTRIES,
     NvmeController,
     NvmeQueuePair,
 )
 from repro.nvme.driver import NvmeDriver
 
 __all__ = [
+    "DEFAULT_QP_DATA_BYTES",
     "FLASH_BYTES_PER_SEC",
     "FLASH_READ_LATENCY_NS",
+    "NVME_RING_ENTRIES",
     "NvmeController",
     "NvmeDriver",
     "NvmeQueuePair",

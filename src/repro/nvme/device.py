@@ -5,100 +5,142 @@ pipeline (a bandwidth server) behind one or two PCIe PFs.  Dual-port
 drives — the NVMe spec's multi-PF controllers — can attach one port per
 socket, which is the "octoSSD" the paper leaves to future work; we build
 both the standard single-port path and the octoSSD steering mode.
+
+PF bookkeeping, hot-unplug/replug notifications and per-PF liveness come
+from the generic :class:`~repro.device.base.MultiPfDevice`, and each
+queue pair is a :class:`~repro.device.qp.DmaQueuePair` — the same core
+the NIC runs on, which is what makes ``pf_down``/``pcie_link_down``/
+``pcie_degrade`` fault plans and PF failover work identically for both
+devices.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List
 
-from repro.memory.region import Region
+from repro.device.base import MultiPfDevice
+from repro.device.qp import DmaQueuePair
 from repro.pcie.fabric import PhysicalFunction
 from repro.sim.resources import BandwidthServer
 from repro.units import CACHELINE, KB
 
 #: PM1725a-class sequential read bandwidth.
 FLASH_BYTES_PER_SEC = 6.2e9
-#: Flash read latency (device-internal, per command).
+#: Flash read latency (device-internal, per command batch; at fio-style
+#: queue depths later commands' flash latency hides behind the DMA).
 FLASH_READ_LATENCY_NS = 80_000
+#: Submission/completion ring depth (NVMe drivers default to 1024).
+NVME_RING_ENTRIES = 1024
+#: Default per-QP data-buffer capacity: iodepth 32 x 128 KB blocks,
+#: doubled for double-buffering.
+DEFAULT_QP_DATA_BYTES = 8 * 1024 * KB
 
 
-class NvmeQueuePair:
+class NvmeQueuePair(DmaQueuePair):
     """A submission/completion queue pair plus its data buffers."""
 
-    def __init__(self, qp_id: int, core, machine):
-        self.qp_id = qp_id
-        self.core = core
-        self.ring = machine.alloc_region(
-            f"nvme-qp{qp_id}-ring", core.node_id, 1024 * CACHELINE)
+    direction = "nvme"
+
+    def __init__(self, qp_id: int, core, machine, pf=None, *,
+                 data_bytes: int = DEFAULT_QP_DATA_BYTES):
+        if data_bytes < CACHELINE:
+            raise ValueError(
+                f"QP data region needs >= one cacheline ({CACHELINE} B), "
+                f"got {data_bytes}")
+        super().__init__(qp_id, core, machine, pf,
+                         ring_name=f"nvme-qp{qp_id}-ring",
+                         ring_entries=NVME_RING_ENTRIES)
         self.data = machine.alloc_region(
-            f"nvme-qp{qp_id}-data", core.node_id, 8 * 1024 * KB)
+            f"nvme-qp{qp_id}-data", core.node_id, data_bytes)
 
     @property
-    def node_id(self) -> int:
-        return self.core.node_id
+    def qp_id(self) -> int:
+        return self.queue_id
 
 
-class NvmeController:
+class NvmeController(MultiPfDevice):
     """One NVMe SSD, possibly dual-port (one PF per socket)."""
+
+    kind = "nvme"
 
     def __init__(self, machine, pfs: List[PhysicalFunction],
                  name: str = "nvme",
                  flash_bytes_per_sec: float = FLASH_BYTES_PER_SEC):
         if not pfs:
             raise ValueError("an NVMe controller needs at least one PF")
-        self.machine = machine
-        self.pfs = pfs
-        self.name = name
+        super().__init__(machine, pfs, name)
         self.flash = BandwidthServer(machine.env, flash_bytes_per_sec,
                                      name=f"{name}.flash")
-        for pf in pfs:
-            pf.device = self
         self.read_bytes = 0
         self.write_bytes = 0
+        self._pf_read_bytes: Dict[int, int] = {pf.pf_id: 0 for pf in pfs}
+        self._pf_window_read: Dict[int, int] = {pf.pf_id: 0 for pf in pfs}
+        self._window_start = machine.env.now
 
-    @property
-    def dual_port(self) -> bool:
-        return len(self.pfs) > 1
+    # ---------------------------------------------------------- commands
 
-    def pf_local_to(self, node: int) -> Optional[PhysicalFunction]:
-        for pf in self.pfs:
-            if pf.attach_node == node:
-                return pf
-        return None
+    def _serving_pf(self, qp: NvmeQueuePair) -> PhysicalFunction:
+        """The PF a command batch on ``qp`` travels through: the QP's
+        serving PF (set by the driver's homing policy), falling back to
+        port 0 for driverless QPs (unit tests, admin queues)."""
+        return qp.pf if qp.pf is not None else self.pfs[0]
 
-    def pick_pf(self, node: int, octo_mode: bool) -> PhysicalFunction:
-        """Standard mode always uses port 0; octoSSD mode uses the port
-        local to the submitting core's node when one exists."""
-        if octo_mode:
-            local = self.pf_local_to(node)
-            if local is not None:
-                return local
-        return self.pfs[0]
-
-    def read(self, qp: NvmeQueuePair, nbytes: int,
-             octo_mode: bool = False) -> int:
-        """One read command: fetch from flash, DMA into the QP's buffers,
-        write a completion.  Returns the device-side delay in ns."""
+    @staticmethod
+    def _check_cmd(nbytes: int, ncmds: int) -> None:
         if nbytes <= 0:
-            raise ValueError(f"read size must be > 0, got {nbytes}")
-        pf = self.pick_pf(qp.node_id, octo_mode)
-        flash_delay = FLASH_READ_LATENCY_NS + self.flash.account(nbytes)
-        dma_delay = pf.dma_write(qp.data, nbytes)
-        dma_delay = max(dma_delay, pf.dma_write(qp.ring, CACHELINE))
-        self.read_bytes += nbytes
+            raise ValueError(f"command size must be > 0, got {nbytes}")
+        if ncmds < 1:
+            raise ValueError(f"ncmds must be >= 1, got {ncmds}")
+
+    def read(self, qp: NvmeQueuePair, nbytes: int, ncmds: int = 1) -> int:
+        """``ncmds`` identical read commands posted as one batch: fetch
+        from flash, DMA into the QP's buffers through its serving PF,
+        write one completion entry per command.  Returns the device-side
+        delay in ns."""
+        self._check_cmd(nbytes, ncmds)
+        pf = self._serving_pf(qp)
+        total = ncmds * nbytes
+        flash_delay = FLASH_READ_LATENCY_NS + self.flash.account(total)
+        dma_delay = pf.dma_write(qp.data, total)
+        dma_delay = max(dma_delay, pf.dma_write(qp.ring, ncmds * CACHELINE))
+        qp.outstanding += ncmds
+        qp.account(ncmds, total)
+        self.read_bytes += total
+        self._pf_read_bytes[pf.pf_id] += total
+        self._pf_window_read[pf.pf_id] += total
         return max(flash_delay, dma_delay)
 
-    def write(self, qp: NvmeQueuePair, nbytes: int,
-              octo_mode: bool = False) -> int:
-        """One write command: DMA from host buffers into flash."""
-        if nbytes <= 0:
-            raise ValueError(f"write size must be > 0, got {nbytes}")
-        pf = self.pick_pf(qp.node_id, octo_mode)
-        flash_delay = self.flash.account(nbytes)
-        dma_delay = pf.dma_read(qp.data, nbytes)
-        dma_delay = max(dma_delay, pf.dma_write(qp.ring, CACHELINE))
-        self.write_bytes += nbytes
+    def write(self, qp: NvmeQueuePair, nbytes: int, ncmds: int = 1) -> int:
+        """``ncmds`` identical write commands posted as one batch: DMA
+        from host buffers into flash, completion entries back."""
+        self._check_cmd(nbytes, ncmds)
+        pf = self._serving_pf(qp)
+        total = ncmds * nbytes
+        flash_delay = self.flash.account(total)
+        dma_delay = pf.dma_read(qp.data, total)
+        dma_delay = max(dma_delay, pf.dma_write(qp.ring, ncmds * CACHELINE))
+        qp.outstanding += ncmds
+        qp.account(ncmds, total)
+        self.write_bytes += total
         return max(flash_delay, dma_delay)
+
+    # -------------------------------------------------------- accounting
+
+    def pf_read_bytes(self, pf_id: int) -> int:
+        return self._pf_read_bytes[pf_id]
+
+    def reset_pf_windows(self) -> None:
+        self._window_start = self.env.now
+        for pf_id in self._pf_window_read:
+            self._pf_window_read[pf_id] = 0
+
+    def pf_window_read_gbps(self, pf_id: int) -> float:
+        """Per-PF read throughput since the last window reset — what the
+        octoSSD failover experiment samples every 50 ms."""
+        elapsed = self.env.now - self._window_start
+        if elapsed <= 0:
+            return 0.0
+        return self._pf_window_read[pf_id] * 8 / elapsed
 
     def __repr__(self) -> str:
         return (f"<NvmeController {self.name} ports={len(self.pfs)} "

@@ -1,37 +1,33 @@
 """Netdevice drivers.
 
-:class:`NetDriver` is the interface the network stack talks to.  The
-:class:`StandardDriver` is the stock vendor driver: it binds **one PF** to
-one netdev, so every queue it owns DMAs through that PF wherever the
+:class:`NetDriver` is the interface the network stack talks to; retry
+backoff and the deferred-steering worker come from the generic
+:class:`~repro.device.driver.DeviceDriver` base.  The
+:class:`StandardDriver` is the stock vendor driver: it binds **one PF**
+to one netdev, so every queue it owns DMAs through that PF wherever the
 consuming thread runs — this is what makes the `remote` configuration
 remote.  The octoNIC team driver lives in :mod:`repro.core.teaming`.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Optional
 
+from repro.device.driver import DeviceDriver
 from repro.nic.device import NicDevice
 from repro.nic.packet import Flow
 from repro.nic.rings import QueueSet, RxQueue, TxQueue
-from repro.sim.errors import DeviceGoneError, DeviceTimeoutError
 from repro.topology.machine import Core, Machine
 
 
-class NetDriver:
+class NetDriver(DeviceDriver):
     """Interface between the network stack and a NIC."""
 
     name = "base"
 
     def __init__(self, machine: Machine, device: NicDevice):
-        self.machine = machine
-        self.device = device
-        self.env = machine.env
+        super().__init__(machine, device)
         self.queues: Optional[QueueSet] = None
-        #: Count of steering updates applied (exposed for tests/metrics).
-        self.steering_updates = 0
-        #: Count of backed-off retries against dead hardware.
-        self.retries = 0
 
     # -------------------------------------------------------------- API
 
@@ -60,35 +56,6 @@ class NetDriver:
                 f"configured; subclasses must build a QueueSet before "
                 f"the netdev is used")
 
-    def call_with_retry(self, operation: Callable, max_attempts: int = 6,
-                        base_backoff_ns: int = 2_000):
-        """Run ``operation`` with exponential backoff on dead hardware.
-
-        A generator for use inside sim processes::
-
-            result = yield from driver.call_with_retry(
-                lambda: device.tx(queue, region, n, size))
-
-        Each :class:`DeviceGoneError` attempt backs off twice as long as
-        the previous one (the PCIe AER/hotplug recovery discipline);
-        after ``max_attempts`` failures the operation is abandoned with
-        :class:`DeviceTimeoutError`.
-        """
-        if max_attempts < 1:
-            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
-        last_error: Optional[DeviceGoneError] = None
-        for attempt in range(max_attempts):
-            try:
-                return operation()
-            except DeviceGoneError as error:
-                last_error = error
-            if attempt < max_attempts - 1:
-                self.retries += 1
-                yield self.env.timeout(base_backoff_ns << attempt)
-        raise DeviceTimeoutError(
-            f"{self.name}: operation still failing after {max_attempts} "
-            f"attempts ({last_error})")
-
     def steer_rx(self, flow: Flow, core: Core, immediate: bool = False):
         """Point ``flow`` at the queue serving ``core``.
 
@@ -105,13 +72,6 @@ class NetDriver:
         per_pkt = self.machine.spec.software.rx_pkt_ns
         return (self.machine.spec.software.steering_update_ns
                 + old_queue.outstanding * per_pkt)
-
-    def _apply_after(self, delay_ns: int, apply_fn) -> None:
-        def worker():
-            yield self.env.timeout(delay_ns)
-            apply_fn()
-            self.steering_updates += 1
-        self.env.process(worker(), name=f"{self.name}-steer-worker")
 
 
 class StandardDriver(NetDriver):

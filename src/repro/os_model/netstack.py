@@ -155,13 +155,12 @@ class NetworkStack:
         # a single queue stays DDIO-hot.
         queue = sock.driver.rx_queue_for_core(thread.core)
         total_bytes = npackets * payload
-        interrupts = queue.moderation.interrupts_for_train(
-            burst_packets, ntrains, self.machine.now)
-        cpu = interrupts * self.costs.irq_ns
+        cpu = sock.driver.completion.interrupt(queue, burst_packets,
+                                               ntrains, self.machine.now)
         cpu += npackets * self.costs.rx_pkt_ns
         cpu += total_messages * self.costs.syscall_ns
         # Completion-descriptor reads: hit (DDIO) or ~80 ns miss each.
-        cpu += npackets * self.memory.read_fresh_dma_line(node, queue.ring)
+        cpu += sock.driver.completion.consume(queue, npackets, node)
         # Payload copy to userspace: source freshness decided by DMA path.
         cpu += int(total_bytes * self.costs.copy_ns_per_byte)
         cpu += self.memory.cpu_read_fresh_dma(node, queue.buffers,
@@ -216,16 +215,15 @@ class NetworkStack:
                                            total_bytes)
         cpu += self.memory.cpu_stream_write(node, txq.skbs, total_bytes)
         # Doorbell per burst (crosses the interconnect if the PF is remote).
-        cpu += ntrains * txq.pf.mmio_latency(node)
+        cpu += sock.driver.doorbell.ring(txq, node, times=ntrains)
 
         dev_ns = sock.driver.device.tx(txq, txq.skbs, npackets, payload,
                                        ndesc=ndesc)
         # Completion reads (the pktgen-style ~80 ns-per-miss path).
-        cpu += ndesc * self.memory.read_fresh_dma_line(node, txq.ring)
+        cpu += sock.driver.completion.consume(txq, ndesc, node)
         # Interrupt per completion batch.
-        cpu += (txq.moderation.interrupts_for_train(burst_desc, ntrains,
-                                                    self.machine.now)
-                * self.costs.irq_ns)
+        cpu += sock.driver.completion.interrupt(txq, burst_desc, ntrains,
+                                                self.machine.now)
         # Incoming TCP ACKs (~1 per 2 MSS, GRO-coalesced ~8:1).  They are
         # DMA-written like any Rx traffic, so their descriptor reads miss
         # when the serving PF is remote.
@@ -234,7 +232,7 @@ class NetworkStack:
             rxq = sock.driver.rx_queue_for_core(thread.core)
             dev_ack = rxq.pf.dma_write(rxq.ring, nacks * 64)
             cpu += nacks * (self.costs.rx_pkt_ns // 2)
-            cpu += nacks * self.memory.read_fresh_dma_line(node, rxq.ring)
+            cpu += sock.driver.completion.consume(rxq, nacks, node)
             dev_ns = max(dev_ns, dev_ack)
         sock.tx_messages += total_messages
         return cpu, dev_ns
@@ -261,7 +259,7 @@ class NetworkStack:
         latency += queue.pf.interrupt_latency(node)
         latency += self.costs.irq_ns + self.costs.wakeup_ns
         latency += pkts * self.costs.rx_pkt_ns + self.costs.syscall_ns
-        latency += pkts * self.memory.read_fresh_dma_line(node, queue.ring)
+        latency += sock.driver.completion.consume(queue, pkts, node)
         # The packet head is a latency-bound demand load (header parse
         # cannot be prefetched); the remainder streams.
         latency += self.memory.read_fresh_dma_line(node, queue.buffers)
@@ -286,7 +284,7 @@ class NetworkStack:
         latency += int(total * self.costs.copy_ns_per_byte)
         latency += self.memory.cpu_stream_read(node, sock.app_buffer, total)
         latency += self.memory.cpu_stream_write(node, txq.skbs, total)
-        latency += txq.pf.mmio_latency(node)
+        latency += sock.driver.doorbell.ring(txq, node)
         latency += sock.driver.device.tx(txq, txq.skbs, pkts, payload,
                                          ndesc=pkts)
         sock.tx_messages += 1

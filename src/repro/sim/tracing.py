@@ -2,11 +2,15 @@
 
 A :class:`Tracer` collects (time, source, event, payload) tuples.  Tracing
 is off by default and costs one predicate check per emit when disabled, so
-hot paths can trace unconditionally.
+hot paths can trace unconditionally.  Collected traces can be exported as
+Chrome trace-event JSON (:meth:`Tracer.to_chrome_trace`) and inspected in
+``chrome://tracing`` or Perfetto.
 """
 
 from __future__ import annotations
 
+import json
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -52,10 +56,40 @@ class Tracer:
         return [r for r in self.records if r.source == source]
 
     def counts(self) -> Dict[str, int]:
-        tally: Dict[str, int] = {}
+        return Counter(record.event for record in self.records)
+
+    def to_chrome_trace(self, process_name: str = "repro") -> str:
+        """The collected records as Chrome trace-event JSON.
+
+        Each source becomes one thread row of instant events; load the
+        string (or a file holding it) in ``chrome://tracing`` or
+        https://ui.perfetto.dev.  Timestamps are microseconds in that
+        format, so sim nanoseconds map to fractional ``ts`` values.
+        """
+        sources = sorted({record.source for record in self.records})
+        tids = {source: tid for tid, source in enumerate(sources)}
+        events: List[dict] = [{
+            "name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+            "args": {"name": process_name},
+        }]
+        for source, tid in tids.items():
+            events.append({"name": "thread_name", "ph": "M", "pid": 0,
+                           "tid": tid, "args": {"name": source}})
         for record in self.records:
-            tally[record.event] = tally.get(record.event, 0) + 1
-        return tally
+            event = {
+                "name": record.event,
+                "ph": "i",          # instant event
+                "s": "t",           # thread-scoped
+                "pid": 0,
+                "tid": tids[record.source],
+                "ts": record.time / 1000,
+                "cat": record.event.split(".")[0],
+            }
+            if record.payload is not None:
+                event["args"] = {"payload": str(record.payload)}
+            events.append(event)
+        return json.dumps({"traceEvents": events,
+                           "displayTimeUnit": "ns"})
 
     def clear(self) -> None:
         self.records.clear()

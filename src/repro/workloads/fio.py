@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.nvme.driver import NvmeDriver
+from repro.sim.errors import DeviceTimeoutError
 from repro.units import KB
 from repro.workloads.base import Workload, measured_meter
 
@@ -28,24 +29,30 @@ class FioReader(Workload):
         self.block_bytes = block_bytes
         self.iodepth = iodepth
         self.meter = measured_meter(self)
+        #: Abandoned-submission messages (port gone past the retry budget).
+        self.errors: List[str] = []
         self.thread = self._spawn("fio", self._body, core)
 
     def _body(self, thread):
         # Steady state with iodepth N: the thread always has N requests in
-        # flight; each loop issues one batch of N and waits for the batch,
-        # which keeps the device pipeline full while CPU cost stays per
-        # request.
+        # flight; each loop submits one batch of N and waits for the
+        # batch, which keeps the device pipeline full while CPU cost stays
+        # per request.  A hot-unplugged port raises DeviceGoneError inside
+        # the submission; the retry discipline backs off until the team
+        # fails over (octoSSD) or the retry budget runs out (single-port).
         while not self.done():
-            cpu_total, dev_total = 0, 0
-            for _ in range(self.iodepth):
-                cpu, dev = self.driver.submit_read(thread.core,
-                                                   self.block_bytes)
-                cpu_total += cpu
-                dev_total = max(dev_total, dev)
+            try:
+                cpu, dev = yield from self.driver.call_with_retry(
+                    lambda: self.driver.submit_read(
+                        thread.core, self.block_bytes,
+                        ncmds=self.iodepth))
+            except DeviceTimeoutError as error:
+                self.errors.append(str(error))
+                break
             if self.in_measurement():
                 self.meter.record(self.iodepth * self.block_bytes,
                                   self.iodepth)
-            yield thread.overlap(cpu_total, dev_total)
+            yield thread.overlap(cpu, dev)
         self.meter.finish(min(self.env.now, self.duration_ns))
 
     def throughput_gbps(self) -> float:

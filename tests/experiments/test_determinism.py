@@ -75,3 +75,24 @@ def test_repeat_run_is_identical():
     first = run_pktgen("ioctopus", 256, D, seed=5, accuracy="exact")
     second = run_pktgen("ioctopus", 256, D, seed=5, accuracy="exact")
     assert second == first
+
+
+def test_fig15_quick_point_golden():
+    """Pin the event-driven NVMe path (device-core port) exactly.
+
+    Captured when the NVMe stack moved onto the shared octo-device core
+    (DmaQueuePair + DoorbellPath + CompletionPath).  The fio pipeline is
+    counter-based and batching-invariant, so these hold under both
+    accuracy modes; a change means the storage data path's arithmetic
+    moved, not that a baseline needs refreshing.
+    """
+    from repro.experiments.fig15_nvme import run_fio_point
+
+    assert run_fio_point(n_streams=0, duration_ns=2 * D) == {
+        "fio_gbps": 201.326592,
+        "stream_gbps": 0,
+    }
+    assert run_fio_point(n_streams=5, duration_ns=2 * D) == {
+        "fio_gbps": 159.383552,
+        "stream_gbps": 84.03968,
+    }

@@ -50,6 +50,30 @@ def test_trace_record_str():
     assert "nic" in str(record) and "tx" in str(record)
 
 
+def test_chrome_trace_export():
+    import json
+
+    tracer = Tracer(enabled=True)
+    tracer.emit(1_000, "nic.pf0", "dev.pf_down", "cause=test")
+    tracer.emit(2_500, "team", "failover.begin")
+    doc = json.loads(tracer.to_chrome_trace(process_name="unit"))
+    assert doc["displayTimeUnit"] == "ns"
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+            "args": {"name": "unit"}} in meta
+    assert sorted(e["args"]["name"] for e in meta
+                  if e["name"] == "thread_name") == ["nic.pf0", "team"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert len(instants) == 2
+    down = next(e for e in instants if e["name"] == "dev.pf_down")
+    assert down["ts"] == 1.0          # 1000 ns -> 1 us
+    assert down["cat"] == "dev"
+    assert down["args"] == {"payload": "cause=test"}
+    begin = next(e for e in instants if e["name"] == "failover.begin")
+    assert "args" not in begin        # payload-less events stay bare
+
+
 def test_simrandom_same_seed_same_stream():
     a, b = SimRandom(7), SimRandom(7)
     assert [a.randint(0, 100) for _ in range(10)] == [
