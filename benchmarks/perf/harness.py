@@ -55,6 +55,10 @@ ENGINE_DURATION_NS = 200_000_000
 #: quick fidelity, where the adaptive mode is the default.
 ADAPTIVE_PAIR_DURATION_NS = 10_000_000
 
+#: Ceiling on the events/sec cost of carrying a *disabled* ObsSession —
+#: the "observability is free unless you ask for it" contract.
+OBS_OVERHEAD_CEILING = 0.02
+
 
 def _engine_workload(kind: str, testbed: Testbed, duration_ns: int):
     warmup = warmup_of(duration_ns)
@@ -149,6 +153,118 @@ def bench_adaptive_pair(kind: str = "pktgen", config: str = "remote",
     return pair
 
 
+def bench_obs_pair(kind: str = "pktgen", config: str = "remote",
+                   duration_ns: int = ENGINE_DURATION_NS,
+                   repeats: int = 5) -> Dict:
+    """Cost of observability on one seeded engine point, three legs:
+
+    * ``off``      — no ObsSession at all (the historical baseline).
+    * ``disabled`` — ``ObsSession(enabled=False)`` attached, as library
+      users carrying an optional ``obs=`` hook run it.  Same event
+      stream as ``off``; the gate holds its events/sec within
+      :data:`OBS_OVERHEAD_CEILING`.
+    * ``enabled``  — full registry + sampler (informational: this leg
+      adds sampler timeout events by design).
+
+    Two measurements feed the gate:
+
+    * **Deterministic** (:func:`_disabled_leg_obs_work`): the disabled
+      leg must process the identical event count and execute *zero*
+      Python calls into ``repro/obs`` code during the run.  When both
+      hold, the disabled overhead is structurally 0% — no timing needed.
+    * **Timing**: shared/throttled hosts drift by more than the 2%
+      ceiling between runs, so absolute best-of times per leg are not
+      comparable.  Each round runs the three legs back-to-back
+      (rotating the order so no leg always gets the freshest slot) and
+      the overheads are *paired ratios within a round*; the reported
+      overhead is the median across rounds.  :func:`check_regression`
+      consults it only when the deterministic check found real obs work
+      on the hot path.
+    """
+    from statistics import median
+
+    from repro.obs import ObsSession
+
+    names = ("off", "disabled", "enabled")
+    legs = {leg: {"events": 0, "wall_s": float("inf")}
+            for leg in names}
+    ratios = {"disabled": [], "enabled": []}
+    for round_no in range(repeats):
+        elapsed = {}
+        order = names[round_no % 3:] + names[:round_no % 3]
+        for leg in order:
+            testbed = Testbed(config, seed=0, accuracy="exact")
+            _engine_workload(kind, testbed, duration_ns)
+            if leg != "off":
+                ObsSession(enabled=(leg == "enabled")).attach(
+                    testbed, horizon_ns=duration_ns)
+            start = time.perf_counter()
+            testbed.run(duration_ns + duration_ns // 5)
+            elapsed[leg] = time.perf_counter() - start
+            cell = legs[leg]
+            cell["events"] = testbed.env.events_processed
+            if elapsed[leg] < cell["wall_s"]:
+                cell["wall_s"] = elapsed[leg]
+        for leg in ("disabled", "enabled"):
+            ratios[leg].append(elapsed[leg] / elapsed["off"] - 1.0)
+    for cell in legs.values():
+        wall = cell["wall_s"]
+        cell["wall_s"] = round(wall, 4)
+        cell["events_per_sec"] = int(cell["events"] / wall) if wall else 0
+    pair = {"kind": kind, "config": config}
+    pair.update(legs)
+    pair["disabled_overhead"] = round(median(ratios["disabled"]), 5)
+    pair["enabled_overhead"] = round(median(ratios["enabled"]), 5)
+    pair.update(_disabled_leg_obs_work(kind, config))
+    return pair
+
+
+def _disabled_leg_obs_work(kind: str, config: str,
+                           duration_ns: int = 20_000_000) -> Dict:
+    """Deterministic half of the obs gate: does a disabled ObsSession do
+    *any* work during a run?
+
+    Compares the processed-event count of an off vs disabled leg (must
+    match exactly — both are seeded and the disabled session schedules
+    nothing) and counts Python calls landing in ``repro/obs`` modules
+    while the disabled leg runs, via ``sys.setprofile``.  An accidental
+    inline instrument call on a hot path (even a no-op one) shows up
+    here as a nonzero call count, machine-independently.
+    """
+    import sys
+
+    from repro.obs import ObsSession
+
+    needle = os.sep + os.path.join("repro", "obs") + os.sep
+    events = {}
+    obs_calls = 0
+    for leg in ("off", "disabled"):
+        testbed = Testbed(config, seed=0, accuracy="exact")
+        _engine_workload(kind, testbed, duration_ns)
+        if leg == "disabled":
+            ObsSession(enabled=False).attach(testbed,
+                                             horizon_ns=duration_ns)
+            counter = [0]
+
+            def profile(frame, event, arg, _counter=counter):
+                if event == "call" and needle in frame.f_code.co_filename:
+                    _counter[0] += 1
+
+            sys.setprofile(profile)
+            try:
+                testbed.run(duration_ns + duration_ns // 5)
+            finally:
+                sys.setprofile(None)
+            obs_calls = counter[0]
+        else:
+            testbed.run(duration_ns + duration_ns // 5)
+        events[leg] = testbed.env.events_processed
+    return {
+        "events_match": events["off"] == events["disabled"],
+        "disabled_obs_calls": obs_calls,
+    }
+
+
 def bench_figure(name: str, fidelity: str, jobs: int,
                  repeats: int = 3) -> float:
     """Wall-clock seconds of one full figure sweep at ``jobs`` workers.
@@ -180,6 +296,7 @@ def run_bench(fidelity: str = "quick", jobs: int = 4) -> Dict:
                                               ENGINE_DURATION_NS),
     }
     adaptive = bench_adaptive_pair()
+    obs = bench_obs_pair()
     figures = {}
     for name in FIGURES:
         serial = bench_figure(name, fidelity, 1)
@@ -200,6 +317,7 @@ def run_bench(fidelity: str = "quick", jobs: int = 4) -> Dict:
         },
         "engine": engine,
         "adaptive": adaptive,
+        "obs": obs,
         "figures": figures,
     }
 
@@ -243,6 +361,26 @@ def check_regression(current: Dict, baseline: Dict,
                 failures.append(
                     f"adaptive: events/packet reduction {reduction}x < "
                     f"{floor:.2f}x floor")
+    # Absolute gate, read from the current report (a baseline predating
+    # the obs pair still gates new reports): a disabled ObsSession must
+    # stay within OBS_OVERHEAD_CEILING of the no-obs events/sec.  When
+    # the deterministic leg proves the disabled session did zero work
+    # (identical event stream, zero obs calls) the overhead is
+    # structurally 0% and the noisy wall-clock ratio is ignored.
+    obs = current.get("obs")
+    if obs is not None:
+        if not obs.get("events_match", True):
+            failures.append(
+                "obs: a disabled ObsSession changed the simulated "
+                "event stream (off vs disabled event counts differ)")
+        calls = obs.get("disabled_obs_calls", 0)
+        overhead = obs.get("disabled_overhead", 0.0)
+        if calls and overhead > OBS_OVERHEAD_CEILING:
+            failures.append(
+                f"obs: {calls} obs calls on the disabled hot path cost "
+                f"{overhead:.2%} > {OBS_OVERHEAD_CEILING:.0%} ceiling "
+                f"({obs['disabled']['events_per_sec']} vs "
+                f"{obs['off']['events_per_sec']} ev/s)")
     for name, base in baseline.get("figures", {}).items():
         now = current.get("figures", {}).get(name)
         if now is None:
@@ -273,6 +411,15 @@ def format_report(report: Dict) -> str:
             f"{pair['adaptive']['events_per_packet']:.5f} ev/pkt  "
             f"({pair['events_per_packet_reduction']:.1f}x fewer, "
             f"metric off by {pair['metric_rel_error']:.2%})")
+    obs = report.get("obs")
+    if obs:
+        lines.append(
+            f"  obs    {obs['kind']}_{obs['config']}    "
+            f"disabled {obs['disabled_overhead']:+.2%} "
+            f"({obs.get('disabled_obs_calls', 0)} obs calls, events "
+            f"{'match' if obs.get('events_match') else 'DIFFER'})  "
+            f"enabled {obs['enabled_overhead']:+.2%}  "
+            f"(off {obs['off']['events_per_sec']} ev/s)")
     for name, fig in report["figures"].items():
         lines.append(f"  figure {name:18s} serial {fig['serial_s']:.3f}s  "
                      f"jobs={report['jobs']} {fig['parallel_s']:.3f}s  "

@@ -33,7 +33,12 @@ class DoorbellPath:
         if times < 1:
             raise ValueError(f"times must be >= 1, got {times}")
         self.rings += times
-        return times * queue.pf.mmio_latency(from_node)
+        cost = times * queue.pf.mmio_latency(from_node)
+        flow = self.machine.tracer.active_flow
+        if flow is not None:
+            flow.step(f"{queue.pf.name}.mmio", "doorbell.ring", cost,
+                      {"times": times, "from_node": from_node})
+        return cost
 
 
 class CompletionPath:
@@ -53,7 +58,12 @@ class CompletionPath:
         into the queue's ring through its serving PF."""
         if ndesc < 1:
             raise ValueError(f"ndesc must be >= 1, got {ndesc}")
-        return queue.pf.dma_write(queue.ring, ndesc * CACHELINE)
+        cost = queue.pf.dma_write(queue.ring, ndesc * CACHELINE)
+        flow = self.machine.tracer.active_flow
+        if flow is not None:
+            flow.step(f"{queue.pf.name}.dma", "cq.write_back", cost,
+                      {"ndesc": ndesc})
+        return cost
 
     # ------------------------------------------------------- host side
 
@@ -61,7 +71,12 @@ class CompletionPath:
         """CPU ns to read ``ndesc`` completion entries on ``node``
         (poll-mode consumption; DDIO decides hit or miss)."""
         self.entries += ndesc
-        return ndesc * queue.completion_read_ns(node)
+        cost = ndesc * queue.completion_read_ns(node)
+        flow = self.machine.tracer.active_flow
+        if flow is not None:
+            flow.step(f"core{node}.cq", "cq.consume", cost,
+                      {"ndesc": ndesc, "via": queue.pf.name})
+        return cost
 
     def interrupt(self, queue, nper_burst: int, nbursts: int,
                   now_ns: int) -> int:
@@ -71,4 +86,9 @@ class CompletionPath:
         interrupts = queue.moderation.interrupts_for_train(
             nper_burst, nbursts, now_ns)
         self.interrupts += interrupts
-        return interrupts * self.irq_ns
+        cost = interrupts * self.irq_ns
+        flow = self.machine.tracer.active_flow
+        if flow is not None and interrupts:
+            flow.step(f"core{queue.node_id}.irq", "irq.deliver", cost,
+                      {"interrupts": interrupts})
+        return cost

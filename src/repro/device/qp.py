@@ -36,6 +36,10 @@ class DmaQueuePair:
         self.moderation = AdaptiveCoalescing()
         #: Outstanding descriptors not yet consumed (for drain tracking).
         self.outstanding = 0
+        #: High-water mark of ``outstanding`` — the queue-depth figure the
+        #: observability layer reports per PF (devices update it inline
+        #: when they post descriptors; a plain compare, no instrument).
+        self.outstanding_hwm = 0
         self.bytes_total = 0
         self.packets_total = 0
 

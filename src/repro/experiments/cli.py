@@ -6,6 +6,7 @@ Examples::
     ioctopus-repro fig08
     ioctopus-repro fig06 fig07 --fidelity quick
     ioctopus-repro --all --fidelity quick
+    ioctopus-repro obs --workload rr --trace /tmp/rr.json
 """
 
 from __future__ import annotations
@@ -51,6 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "obs":
+        from repro.obs.cli import main as obs_main
+        return obs_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.jobs is not None or args.cache_dir is not None:
         from repro.experiments.sweep import configure

@@ -157,9 +157,12 @@ class MembwProbe:
 def run_tcp_stream(config: str, message_bytes: int, direction: str,
                    duration_ns: int, stream_pairs: int = 0,
                    seed: int = 0,
-                   accuracy: Optional[str] = None) -> Dict[str, float]:
+                   accuracy: Optional[str] = None,
+                   obs=None) -> Dict[str, float]:
     """One netperf TCP_STREAM point; returns throughput/membw/cpu."""
     testbed = Testbed(config, seed=seed, accuracy=accuracy)
+    if obs is not None:
+        obs.attach(testbed, horizon_ns=duration_ns)
     host = testbed.server
     warmup = warmup_of(duration_ns)
     workload = TcpStream(host, testbed.server_core(0), Flow.make(0),
@@ -189,9 +192,12 @@ def run_tcp_stream(config: str, message_bytes: int, direction: str,
 def run_pktgen(config: str, packet_bytes: int, duration_ns: int,
                ring_home_node: Optional[int] = None,
                seed: int = 0,
-               accuracy: Optional[str] = None) -> Dict[str, float]:
+               accuracy: Optional[str] = None,
+               obs=None) -> Dict[str, float]:
     """One pktgen point."""
     testbed = Testbed(config, seed=seed, accuracy=accuracy)
+    if obs is not None:
+        obs.attach(testbed, horizon_ns=duration_ns)
     workload = Pktgen(testbed.server, testbed.server_core(0), packet_bytes,
                       duration_ns, warmup_of(duration_ns),
                       ring_home_node=ring_home_node)
@@ -214,10 +220,13 @@ def run_pktgen(config: str, packet_bytes: int, duration_ns: int,
 
 def run_tcp_rr(server_config: str, client_config: str, ddio: bool,
                message_bytes: int, duration_ns: int,
-               seed: int = 0, accuracy: Optional[str] = None) -> float:
+               seed: int = 0, accuracy: Optional[str] = None,
+               obs=None) -> float:
     """One TCP_RR point; returns average RTT in ns."""
     testbed = Testbed(server_config, client_config=client_config,
                       ddio=ddio, seed=seed, accuracy=accuracy)
+    if obs is not None:
+        obs.attach(testbed, horizon_ns=duration_ns)
     workload = TcpRr(testbed, message_bytes, duration_ns,
                      warmup_of(duration_ns))
     if testbed.env.adaptive:

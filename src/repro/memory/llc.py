@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.memory.region import Region
 
@@ -52,6 +52,11 @@ class LastLevelCache:
     @property
     def occupied(self) -> int:
         return self._occupied
+
+    @property
+    def ddio_occupied(self) -> int:
+        """Bytes currently held by DDIO allocations (<= ddio_capacity)."""
+        return self._ddio_occupied
 
     def residency(self, region: Region) -> float:
         """Fraction of the region's bytes that are cache-resident."""

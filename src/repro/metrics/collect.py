@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 
 @dataclass
@@ -45,11 +46,16 @@ class LatencyRecorder:
 
     def __init__(self):
         self.samples: List[int] = []
+        # Cached ascending view for percentile(); invalidated on record()
+        # so repeated percentile reads sort at most once per new sample
+        # batch instead of once per call.
+        self._sorted: Optional[List[int]] = None
 
     def record(self, latency_ns: int) -> None:
         if latency_ns < 0:
             raise ValueError(f"negative latency {latency_ns}")
         self.samples.append(latency_ns)
+        self._sorted = None
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -65,14 +71,20 @@ class LatencyRecorder:
             raise ValueError("no samples recorded")
         if not 0 <= p <= 100:
             raise ValueError(f"percentile out of range: {p}")
-        ordered = sorted(self.samples)
+        ordered = self._sorted
+        if ordered is None:
+            ordered = self._sorted = sorted(self.samples)
         rank = max(1, math.ceil(p / 100 * len(ordered)))
         return ordered[rank - 1]
 
     def min(self) -> int:
+        if not self.samples:
+            raise ValueError("no samples recorded")
         return min(self.samples)
 
     def max(self) -> int:
+        if not self.samples:
+            raise ValueError("no samples recorded")
         return max(self.samples)
 
 
@@ -92,38 +104,35 @@ class TimeSeries:
         return len(self.values)
 
     def value_at(self, time_ns: int) -> float:
-        """Value of the latest sample at or before ``time_ns``."""
-        best = None
-        for t, v in zip(self.times_ns, self.values):
-            if t <= time_ns:
-                best = v
-            else:
-                break
-        if best is None:
-            raise ValueError(f"no sample at or before {time_ns}")
-        return best
+        """Value of the latest sample at or before ``time_ns``.
 
-    def mean(self, t_from: int = 0, t_to: Optional[int] = None) -> float:
-        picked = [v for t, v in zip(self.times_ns, self.values)
-                  if t >= t_from and (t_to is None or t <= t_to)]
+        Samples arrive in sim-time order, so ``times_ns`` is sorted and a
+        bisect replaces the former linear scan.
+        """
+        i = bisect_right(self.times_ns, time_ns) - 1
+        if i < 0:
+            raise ValueError(f"no sample at or before {time_ns}")
+        return self.values[i]
+
+    def _slice(self, t_from: int, t_to: Optional[int]) -> List[float]:
+        lo = bisect_left(self.times_ns, t_from)
+        hi = (len(self.times_ns) if t_to is None
+              else bisect_right(self.times_ns, t_to))
+        picked = self.values[lo:hi]
         if not picked:
             raise ValueError("no samples in range")
+        return picked
+
+    def mean(self, t_from: int = 0, t_to: Optional[int] = None) -> float:
+        picked = self._slice(t_from, t_to)
         return sum(picked) / len(picked)
 
     def min(self, t_from: int = 0, t_to: Optional[int] = None) -> float:
         """Smallest sample in [t_from, t_to] — e.g. a failover dip."""
-        picked = [v for t, v in zip(self.times_ns, self.values)
-                  if t >= t_from and (t_to is None or t <= t_to)]
-        if not picked:
-            raise ValueError("no samples in range")
-        return min(picked)
+        return min(self._slice(t_from, t_to))
 
     def max(self, t_from: int = 0, t_to: Optional[int] = None) -> float:
-        picked = [v for t, v in zip(self.times_ns, self.values)
-                  if t >= t_from and (t_to is None or t <= t_to)]
-        if not picked:
-            raise ValueError("no samples in range")
-        return max(picked)
+        return max(self._slice(t_from, t_to))
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence],

@@ -106,7 +106,17 @@ class NicDevice(MultiPfDevice):
         dma_delay = max(buf_delay, ring_delay)
         delay = npackets * PIPELINE_NS_PER_PKT + max(wire_delay, dma_delay)
 
+        flow_trace = self.machine.tracer.active_flow
+        if flow_trace is not None:
+            flow_trace.step("wire", "wire.rx", wire_delay,
+                            {"packets": npackets, "bytes": payload_total})
+            flow_trace.step(f"{self.name}.{pf.name}", "dma.rx",
+                            npackets * PIPELINE_NS_PER_PKT + dma_delay,
+                            {"buf_ns": buf_delay, "ring_ns": ring_delay})
+
         queue.outstanding += npackets
+        if queue.outstanding > queue.outstanding_hwm:
+            queue.outstanding_hwm = queue.outstanding
         queue.account(npackets, payload_total)
         self._pf_rx_bytes[pf_id] += payload_total
         self._pf_window_rx[pf_id] += payload_total
@@ -150,6 +160,19 @@ class NicDevice(MultiPfDevice):
         delay = (npackets * PIPELINE_NS_PER_PKT
                  + max(wire_delay, dma_delay, completion_delay))
 
+        flow_trace = self.machine.tracer.active_flow
+        if flow_trace is not None:
+            flow_trace.step(f"{self.name}.{pf.name}", "dma.tx",
+                            npackets * PIPELINE_NS_PER_PKT + dma_delay,
+                            {"desc_ns": desc_delay,
+                             "payload_ns": payload_delay})
+            flow_trace.step("wire", "wire.tx", wire_delay,
+                            {"packets": npackets, "bytes": payload_total})
+
+        # TX posting is synchronous, so ring residency peaks at the batch
+        # itself; record it so the depth HWM is meaningful for tx queues.
+        if ndesc > queue.outstanding_hwm:
+            queue.outstanding_hwm = ndesc
         queue.account(npackets, payload_total)
         self._pf_tx_bytes[pf.pf_id] += payload_total
         return delay

@@ -103,7 +103,14 @@ class NvmeController(MultiPfDevice):
         flash_delay = FLASH_READ_LATENCY_NS + self.flash.account(total)
         dma_delay = pf.dma_write(qp.data, total)
         dma_delay = max(dma_delay, pf.dma_write(qp.ring, ncmds * CACHELINE))
+        flow_trace = self.machine.tracer.active_flow
+        if flow_trace is not None:
+            flow_trace.step(f"{self.name}.flash", "flash.read", flash_delay,
+                            {"cmds": ncmds, "bytes": total})
+            flow_trace.step(f"{self.name}.{pf.name}", "dma.rx", dma_delay)
         qp.outstanding += ncmds
+        if qp.outstanding > qp.outstanding_hwm:
+            qp.outstanding_hwm = qp.outstanding
         qp.account(ncmds, total)
         self.read_bytes += total
         self._pf_read_bytes[pf.pf_id] += total
@@ -119,7 +126,14 @@ class NvmeController(MultiPfDevice):
         flash_delay = self.flash.account(total)
         dma_delay = pf.dma_read(qp.data, total)
         dma_delay = max(dma_delay, pf.dma_write(qp.ring, ncmds * CACHELINE))
+        flow_trace = self.machine.tracer.active_flow
+        if flow_trace is not None:
+            flow_trace.step(f"{self.name}.{pf.name}", "dma.tx", dma_delay)
+            flow_trace.step(f"{self.name}.flash", "flash.write", flash_delay,
+                            {"cmds": ncmds, "bytes": total})
         qp.outstanding += ncmds
+        if qp.outstanding > qp.outstanding_hwm:
+            qp.outstanding_hwm = qp.outstanding
         qp.account(ncmds, total)
         self.write_bytes += total
         return max(flash_delay, dma_delay)

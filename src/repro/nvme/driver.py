@@ -94,7 +94,14 @@ class NvmeDriver(OctoTeam, DeviceDriver):
             raise ValueError(f"ncmds must be >= 1, got {ncmds}")
         qp = self.qp_for_core(core)
         node = core.node_id
-        cpu = ncmds * self.machine.spec.software.fio_request_ns
+        # One flow per submission batch: the doorbell/completion paths and
+        # the controller contribute their steps while it is active.
+        flow = self.machine.tracer.begin_flow(self.machine.now)
+        prep = ncmds * self.machine.spec.software.fio_request_ns
+        if flow is not None:
+            flow.step(f"core{node}.app", f"nvme.{op}.submit", prep,
+                      {"cmds": ncmds, "bytes": nbytes})
+        cpu = prep
         cpu += self.doorbell.ring(qp, node)
         if op == "read":
             dev = self.device.read(qp, nbytes, ncmds=ncmds)
@@ -105,6 +112,9 @@ class NvmeDriver(OctoTeam, DeviceDriver):
         cpu += self.completion.interrupt(qp, ncmds, 1, self.machine.now)
         cpu += self.completion.consume(qp, ncmds, node)
         qp.outstanding = max(0, qp.outstanding - ncmds)
+        if flow is not None:
+            flow.finish(f"core{node}.app", f"nvme.{op}.complete", 0,
+                        {"cpu_ns": cpu, "dev_ns": dev})
         return cpu, dev
 
     def submit_read(self, core: Core, nbytes: int, ncmds: int = 1) -> tuple:

@@ -1,0 +1,120 @@
+"""`ioctopus-repro obs`: per-component utilization for one experiment
+point, plus optional Perfetto trace / Prometheus dump / engine profile.
+
+Examples::
+
+    ioctopus-repro obs                         # fig08 quick point
+    ioctopus-repro obs --workload rr --trace /tmp/rr.json
+    ioctopus-repro obs --config ioctopus --full --profile
+    ioctopus-repro obs --prom /tmp/metrics.prom
+
+The ``rr`` workload is the one to use with ``--trace``: its latency
+path opens a flow per round trip, so the Perfetto view shows each
+message as a connected arrow chain wire -> PF -> DMA -> stack -> app.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.base import DURATIONS_MS
+from repro.obs.session import ObsSession
+
+WORKLOADS = ("pktgen", "tcp_rx", "tcp_tx", "rr")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ioctopus-repro obs",
+        description="Run one experiment point with full observability "
+                    "and print a per-component utilization table")
+    parser.add_argument("--workload", default="pktgen", choices=WORKLOADS)
+    parser.add_argument("--config", default="remote",
+                        choices=("local", "remote", "ioctopus"),
+                        help="server-side configuration (default: remote, "
+                             "the NUDMA-afflicted case)")
+    parser.add_argument("--packet-bytes", type=int, default=256,
+                        help="pktgen packet size (default: 256, the "
+                             "fig08 knee)")
+    parser.add_argument("--message-bytes", type=int, default=16384,
+                        help="tcp_rx/tcp_tx/rr message size")
+    parser.add_argument("--fidelity", default="quick",
+                        choices=tuple(sorted(DURATIONS_MS)))
+    parser.add_argument("--accuracy", default="exact",
+                        choices=("exact", "adaptive"),
+                        help="default exact: observability reads are "
+                             "deterministic and comparable across runs")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sample-interval-us", type=int, default=1000,
+                        help="utilization sampling cadence in sim "
+                             "microseconds (default: 1000)")
+    parser.add_argument("--full", action="store_true",
+                        help="include per-queue/per-core detail rows")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="write a Chrome/Perfetto JSON trace "
+                             "(spans + flow arrows + counter tracks)")
+    parser.add_argument("--prom", metavar="FILE",
+                        help="write a Prometheus text-format dump")
+    parser.add_argument("--profile", action="store_true",
+                        help="also print the engine self-profile "
+                             "(host wall-clock by event type)")
+    return parser
+
+
+def _run_point(args, obs: ObsSession) -> dict:
+    from repro.experiments.runners import (
+        run_pktgen,
+        run_tcp_rr,
+        run_tcp_stream,
+    )
+    duration = DURATIONS_MS[args.fidelity] * 1_000_000
+    common = dict(duration_ns=duration, seed=args.seed,
+                  accuracy=args.accuracy, obs=obs)
+    if args.workload == "pktgen":
+        return run_pktgen(args.config, args.packet_bytes, **common)
+    if args.workload in ("tcp_rx", "tcp_tx"):
+        direction = args.workload[4:]
+        return run_tcp_stream(args.config, args.message_bytes, direction,
+                              **common)
+    rtt = run_tcp_rr(args.config, "local", True, args.message_bytes,
+                     **common)
+    return {"avg_rtt_us": rtt / 1000}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    obs = ObsSession(enabled=True, trace=bool(args.trace),
+                     sample_interval_ns=args.sample_interval_us * 1000,
+                     profile=args.profile)
+    result = _run_point(args, obs)
+
+    size = (args.packet_bytes if args.workload == "pktgen"
+            else args.message_bytes)
+    point = (f"{args.workload} {args.config} {size}B "
+             f"{args.fidelity}/{args.accuracy}")
+    print(f"point: {point}")
+    for key, value in result.items():
+        print(f"  {key}: {value:.4f}")
+    print()
+    print(obs.utilization_table(full=args.full))
+
+    if args.profile:
+        print()
+        print(obs.profile_table())
+    if args.trace:
+        with open(args.trace, "w") as fh:
+            fh.write(obs.perfetto_json())
+        records = len(obs.tracer.records) if obs.tracer else 0
+        print(f"\nwrote {records} trace records to {args.trace} "
+              "(open in ui.perfetto.dev)")
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            fh.write(obs.prometheus())
+        print(f"wrote Prometheus dump to {args.prom}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""Exports: Prometheus text exposition and Perfetto trace assembly."""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional
+
+from repro.obs.registry import MetricsRegistry
+from repro.sim.tracing import Tracer
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+#: Summary quantiles emitted per histogram.
+_QUANTILES = ((0.5, 50), (0.95, 95), (0.99, 99))
+
+
+def prometheus_name(name: str, prefix: str = "repro") -> str:
+    """Dotted instrument name -> Prometheus metric name."""
+    return f"{prefix}_{_NAME_RE.sub('_', name)}"
+
+
+def to_prometheus(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """Prometheus text exposition (0.0.4) of every instrument.
+
+    Counters/gauges become single samples; histograms become
+    summary-style quantile samples plus ``_count``/``_sum``.
+    """
+    lines = []
+    for name in registry.names():
+        instrument = registry.instruments[name]
+        metric = prometheus_name(name, prefix)
+        if instrument.help:
+            lines.append(f"# HELP {metric} {instrument.help}")
+        if instrument.kind == "histogram":
+            lines.append(f"# TYPE {metric} summary")
+            for quantile, p in _QUANTILES:
+                if instrument.count:
+                    value = instrument.percentile(p)
+                    lines.append(
+                        f'{metric}{{quantile="{quantile}"}} {value}')
+            lines.append(f"{metric}_count {instrument.count}")
+            lines.append(f"{metric}_sum {instrument.sum}")
+        else:
+            lines.append(f"# TYPE {metric} {instrument.kind}")
+            lines.append(f"{metric} {instrument.value}")
+    return "\n".join(lines) + "\n"
+
+
+def to_perfetto(tracer: Tracer,
+                registry: Optional[MetricsRegistry] = None,
+                sampler=None,
+                process_name: str = "repro") -> str:
+    """Chrome/Perfetto JSON: trace records + sampler counter tracks +
+    registry histogram metadata rows, in one document."""
+    counters: Dict = {}
+    if sampler is not None:
+        counters.update(sampler.counter_tracks())
+    histograms: Dict = {}
+    if registry is not None:
+        for name in registry.names():
+            instrument = registry.instruments[name]
+            if instrument.kind == "histogram" and instrument.count:
+                histograms[name] = instrument.summary()
+    return tracer.to_chrome_trace(process_name=process_name,
+                                  counters=counters,
+                                  histograms=histograms)

@@ -21,7 +21,7 @@ Two kinds of data-path APIs exist:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.nic.packet import Flow, packets_for
 from repro.os_model.driver import NetDriver
@@ -250,22 +250,34 @@ class NetworkStack:
         node = thread.core.node_id
         pkts = packets_for(message_bytes, MSS)
         payload = max(1, min(message_bytes, MSS))
+        # One flow per message: the device and completion path contribute
+        # their steps (wire, DMA, CQ reads) while it is active.
+        flow = self.machine.tracer.begin_flow(self.machine.now)
         queue, dev_ns = sock.driver.device.rx_deliver(
             sock.flow, sock.dst_mac, pkts, payload, charge_wire=charge_wire)
         queue.outstanding = max(0, queue.outstanding - pkts)
         total = pkts * payload
 
         latency = dev_ns
-        latency += queue.pf.interrupt_latency(node)
-        latency += self.costs.irq_ns + self.costs.wakeup_ns
-        latency += pkts * self.costs.rx_pkt_ns + self.costs.syscall_ns
+        irq = (queue.pf.interrupt_latency(node)
+               + self.costs.irq_ns + self.costs.wakeup_ns)
+        stack = pkts * self.costs.rx_pkt_ns + self.costs.syscall_ns
+        if flow is not None:
+            flow.step(f"core{node}.irq", "irq.wakeup", irq)
+            flow.step(f"core{node}.stack", "stack.rx", stack,
+                      {"packets": pkts})
+        latency += irq + stack
         latency += sock.driver.completion.consume(queue, pkts, node)
         # The packet head is a latency-bound demand load (header parse
         # cannot be prefetched); the remainder streams.
-        latency += self.memory.read_fresh_dma_line(node, queue.buffers)
-        latency += int(total * self.costs.copy_ns_per_byte)
-        latency += self.memory.cpu_read_fresh_dma(node, queue.buffers, total)
-        latency += self.memory.cpu_stream_write(node, sock.app_buffer, total)
+        app = self.memory.read_fresh_dma_line(node, queue.buffers)
+        app += int(total * self.costs.copy_ns_per_byte)
+        app += self.memory.cpu_read_fresh_dma(node, queue.buffers, total)
+        app += self.memory.cpu_stream_write(node, sock.app_buffer, total)
+        if flow is not None:
+            flow.finish(f"core{node}.app", "app.copy", app,
+                        {"bytes": total})
+        latency += app
         sock.rx_messages += 1
         return latency
 
@@ -280,12 +292,19 @@ class NetworkStack:
         total = pkts * payload
         per_pkt = self.costs.udp_pkt_ns if udp else self.costs.tx_pkt_ns
 
-        latency = self.costs.syscall_ns + pkts * per_pkt
-        latency += int(total * self.costs.copy_ns_per_byte)
-        latency += self.memory.cpu_stream_read(node, sock.app_buffer, total)
-        latency += self.memory.cpu_stream_write(node, txq.skbs, total)
+        flow = self.machine.tracer.begin_flow(self.machine.now)
+        stack = self.costs.syscall_ns + pkts * per_pkt
+        stack += int(total * self.costs.copy_ns_per_byte)
+        stack += self.memory.cpu_stream_read(node, sock.app_buffer, total)
+        stack += self.memory.cpu_stream_write(node, txq.skbs, total)
+        if flow is not None:
+            flow.step(f"core{node}.app", "app.send", stack,
+                      {"bytes": total})
+        latency = stack
         latency += sock.driver.doorbell.ring(txq, node)
         latency += sock.driver.device.tx(txq, txq.skbs, pkts, payload,
                                          ndesc=pkts)
+        if flow is not None:
+            flow.finish("wire", "tx.done", 0)
         sock.tx_messages += 1
         return latency

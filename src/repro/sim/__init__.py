@@ -22,7 +22,7 @@ from repro.sim.resources import (
     Store,
 )
 from repro.sim.rng import SimRandom
-from repro.sim.tracing import NULL_TRACER, TraceRecord, Tracer
+from repro.sim.tracing import NULL_TRACER, TraceFlow, TraceRecord, Tracer
 
 __all__ = [
     "AllOf",
@@ -42,6 +42,7 @@ __all__ = [
     "SimulationError",
     "Store",
     "Timeout",
+    "TraceFlow",
     "TraceRecord",
     "Tracer",
 ]

@@ -231,6 +231,11 @@ class BandwidthServer:
     def bytes_total(self) -> int:
         return self._bytes_total
 
+    @property
+    def busy_ns(self) -> int:
+        """Cumulative service time — the numerator of utilization()."""
+        return self._busy_ns
+
     def utilization(self, since: int = 0) -> float:
         """Fraction of wall time busy between ``since`` and now."""
         elapsed = self.env.now - since

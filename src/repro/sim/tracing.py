@@ -1,10 +1,32 @@
-"""Lightweight event tracing.
+"""Lightweight event tracing: instants, spans, and flows.
 
-A :class:`Tracer` collects (time, source, event, payload) tuples.  Tracing
-is off by default and costs one predicate check per emit when disabled, so
-hot paths can trace unconditionally.  Collected traces can be exported as
-Chrome trace-event JSON (:meth:`Tracer.to_chrome_trace`) and inspected in
-``chrome://tracing`` or Perfetto.
+A :class:`Tracer` collects :class:`TraceRecord` entries.  Tracing is off
+by default and costs one predicate check per emit when disabled, so hot
+paths can trace unconditionally.  Three record shapes exist:
+
+* **instant** (``phase="i"``) — a point event, the original shape every
+  component emits (``pf_down``, ``failover.begin``, ...).
+* **span** (``phase="X"``) — a duration: ``emit``-ed with ``dur`` ns, it
+  renders as a slice on the source's track.
+* **flow step** — a span that additionally carries a ``flow_id``: one
+  packet or IO's journey through the machine.  Steps of one flow are
+  connected by Perfetto/Chrome flow arrows (``s``/``t``/``f`` events),
+  so a single packet can be followed wire → PF → DMA → LLC → app across
+  component tracks.
+
+Flows are built through :meth:`Tracer.begin_flow`, which returns a
+:class:`TraceFlow` holding a **time cursor**: each :meth:`TraceFlow.step`
+emits a span at the cursor and advances it by the step's duration, so a
+critical path renders as a staircase of connected slices.  At most one
+flow is active at a time (``Tracer.active_flow``); shared code like the
+doorbell/completion paths contributes steps to whatever flow its caller
+opened, which is how the NIC and NVMe stacks get flow tracing from the
+same lines of code.
+
+Collected traces export as Chrome trace-event JSON
+(:meth:`Tracer.to_chrome_trace`) for ``chrome://tracing`` or
+https://ui.perfetto.dev; metric time series and histogram summaries can
+ride along as counter tracks / metadata rows.
 """
 
 from __future__ import annotations
@@ -12,7 +34,7 @@ from __future__ import annotations
 import json
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -23,10 +45,60 @@ class TraceRecord:
     source: str
     event: str
     payload: Any = None
+    #: Chrome phase: "i" instant, "X" complete span.
+    phase: str = "i"
+    #: Span duration in ns (phase "X" only).
+    dur: int = 0
+    #: Flow membership: id shared by every step of one packet/IO journey.
+    flow_id: Optional[int] = None
+    #: "s" first step, "t" intermediate, "f" final step of the flow.
+    flow_phase: Optional[str] = None
 
     def __str__(self) -> str:
         extra = f" {self.payload}" if self.payload is not None else ""
+        if self.phase == "X":
+            extra = f" (+{self.dur} ns){extra}"
         return f"[{self.time:>12} ns] {self.source}: {self.event}{extra}"
+
+
+class TraceFlow:
+    """One packet/IO journey: connected spans with a running time cursor."""
+
+    __slots__ = ("tracer", "flow_id", "cursor", "steps")
+
+    def __init__(self, tracer: "Tracer", flow_id: int, start_ns: int):
+        self.tracer = tracer
+        self.flow_id = flow_id
+        self.cursor = int(start_ns)
+        self.steps = 0
+
+    def step(self, source: str, event: str, dur: int = 0,
+             payload: Any = None) -> None:
+        """Emit one stage of the journey at the cursor; advance it by
+        ``dur`` so the next stage starts where this one ended."""
+        dur = int(dur)
+        if dur < 0:
+            dur = 0
+        phase = "s" if self.steps == 0 else "t"
+        self.tracer._append(TraceRecord(
+            self.cursor, source, event, payload, "X", dur,
+            self.flow_id, phase))
+        self.steps += 1
+        self.cursor += dur
+
+    def finish(self, source: str, event: str, dur: int = 0,
+               payload: Any = None) -> None:
+        """Emit the terminal stage and close the flow."""
+        dur = int(dur)
+        if dur < 0:
+            dur = 0
+        self.tracer._append(TraceRecord(
+            self.cursor, source, event, payload, "X", dur,
+            self.flow_id, "f"))
+        self.steps += 1
+        self.cursor += dur
+        if self.tracer.active_flow is self:
+            self.tracer.active_flow = None
 
 
 @dataclass
@@ -37,17 +109,60 @@ class Tracer:
     source_prefix: Optional[str] = None
     records: List[TraceRecord] = field(default_factory=list)
     sinks: List[Callable[[TraceRecord], None]] = field(default_factory=list)
+    #: Flow tracing is opt-in on top of ``enabled``: several experiments
+    #: and tests flip ``enabled`` for instant events and must not start
+    #: collecting per-packet staircases as a side effect.
+    flows: bool = False
+    #: Hard cap on flows per tracer: latency loops open one flow per
+    #: message, and an unbounded run would otherwise collect millions of
+    #: spans.  ``begin_flow`` returns None once the cap is reached.
+    flow_limit: int = 1000
+    #: The flow currently being built (shared paths contribute steps to
+    #: it); None outside an open flow.
+    active_flow: Optional[TraceFlow] = None
+    _next_flow_id: int = 0
+
+    # ------------------------------------------------------------- emit
+
+    def _append(self, record: TraceRecord) -> None:
+        if self.source_prefix and not record.source.startswith(
+                self.source_prefix):
+            return
+        self.records.append(record)
+        for sink in self.sinks:
+            sink(record)
 
     def emit(self, time: int, source: str, event: str,
              payload: Any = None) -> None:
         if not self.enabled:
             return
-        if self.source_prefix and not source.startswith(self.source_prefix):
+        self._append(TraceRecord(time, source, event, payload))
+
+    def span(self, time: int, source: str, event: str, dur: int,
+             payload: Any = None) -> None:
+        """A standalone duration slice (no flow membership)."""
+        if not self.enabled:
             return
-        record = TraceRecord(time, source, event, payload)
-        self.records.append(record)
-        for sink in self.sinks:
-            sink(record)
+        self._append(TraceRecord(time, source, event, payload, "X",
+                                 max(0, int(dur))))
+
+    def begin_flow(self, start_ns: int) -> Optional[TraceFlow]:
+        """Open a flow at ``start_ns`` and make it the active flow.
+
+        Returns None when flow tracing is off (or the flow cap is hit) —
+        callers guard their step/finish calls on the returned handle,
+        while shared paths consult :attr:`active_flow`.
+        """
+        if not (self.enabled and self.flows):
+            return None
+        if self._next_flow_id >= self.flow_limit:
+            return None
+        flow = TraceFlow(self, self._next_flow_id, start_ns)
+        self._next_flow_id += 1
+        self.active_flow = flow
+        return flow
+
+    # ----------------------------------------------------------- queries
 
     def by_event(self, event: str) -> List[TraceRecord]:
         return [r for r in self.records if r.event == event]
@@ -55,16 +170,38 @@ class Tracer:
     def by_source(self, source: str) -> List[TraceRecord]:
         return [r for r in self.records if r.source == source]
 
+    def by_flow(self, flow_id: int) -> List[TraceRecord]:
+        return [r for r in self.records if r.flow_id == flow_id]
+
     def counts(self) -> Dict[str, int]:
         return Counter(record.event for record in self.records)
 
-    def to_chrome_trace(self, process_name: str = "repro") -> str:
+    # ------------------------------------------------------------ export
+
+    @staticmethod
+    def _args_of(record: TraceRecord) -> Optional[dict]:
+        if record.payload is None:
+            return None
+        if isinstance(record.payload, dict):
+            # Structured payloads become structured Perfetto args.
+            return dict(record.payload)
+        return {"payload": str(record.payload)}
+
+    def to_chrome_trace(
+            self, process_name: str = "repro",
+            counters: Optional[Dict[str, Sequence[Tuple[int, float]]]] = None,
+            histograms: Optional[Dict[str, Dict[str, float]]] = None) -> str:
         """The collected records as Chrome trace-event JSON.
 
-        Each source becomes one thread row of instant events; load the
-        string (or a file holding it) in ``chrome://tracing`` or
-        https://ui.perfetto.dev.  Timestamps are microseconds in that
-        format, so sim nanoseconds map to fractional ``ts`` values.
+        Each source becomes one thread row; instants stay point events,
+        spans become "X" slices, and flow steps additionally emit
+        ``s``/``t``/``f`` arrow events binding the slices of one packet's
+        journey together.  ``counters`` (name -> [(time_ns, value), ...])
+        render as Perfetto counter tracks; ``histograms`` (name ->
+        summary dict) are attached as metadata rows.  Load the string in
+        ``chrome://tracing`` or https://ui.perfetto.dev.  Timestamps are
+        microseconds in that format, so sim nanoseconds map to fractional
+        ``ts`` values.
         """
         sources = sorted({record.source for record in self.records})
         tids = {source: tid for tid, source in enumerate(sources)}
@@ -78,21 +215,55 @@ class Tracer:
         for record in self.records:
             event = {
                 "name": record.event,
-                "ph": "i",          # instant event
-                "s": "t",           # thread-scoped
                 "pid": 0,
                 "tid": tids[record.source],
                 "ts": record.time / 1000,
                 "cat": record.event.split(".")[0],
             }
-            if record.payload is not None:
-                event["args"] = {"payload": str(record.payload)}
+            if record.phase == "X":
+                event["ph"] = "X"
+                event["dur"] = record.dur / 1000
+            else:
+                event["ph"] = "i"
+                event["s"] = "t"    # thread-scoped instant
+            args = self._args_of(record)
+            if args is not None:
+                event["args"] = args
             events.append(event)
+            if record.flow_id is not None and record.flow_phase:
+                # Arrow events bind to the slice enclosing their ts on
+                # the same thread; "f" needs bp=e to attach to the
+                # slice it ends in rather than the next one.
+                arrow = {
+                    "name": "flow",
+                    "cat": "flow",
+                    "ph": record.flow_phase,
+                    "id": record.flow_id,
+                    "pid": 0,
+                    "tid": tids[record.source],
+                    "ts": record.time / 1000,
+                }
+                if record.flow_phase == "f":
+                    arrow["bp"] = "e"
+                events.append(arrow)
+        for name, series in (counters or {}).items():
+            for time_ns, value in series:
+                events.append({
+                    "name": name, "ph": "C", "pid": 0,
+                    "ts": time_ns / 1000,
+                    "args": {"value": value},
+                })
+        for name, summary in (histograms or {}).items():
+            events.append({
+                "name": f"histogram:{name}", "ph": "M", "pid": 0, "tid": 0,
+                "args": {str(k): v for k, v in summary.items()},
+            })
         return json.dumps({"traceEvents": events,
                            "displayTimeUnit": "ns"})
 
     def clear(self) -> None:
         self.records.clear()
+        self.active_flow = None
 
 
 #: Shared no-op tracer used when a component is built without one.

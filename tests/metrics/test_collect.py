@@ -85,3 +85,66 @@ def test_format_table_alignment():
     assert lines[0] == "demo"
     assert "name" in lines[1]
     assert "1.50" in text and "2.25" in text
+
+
+def test_latency_recorder_empty_errors():
+    recorder = LatencyRecorder()
+    for call in (recorder.average, recorder.min, recorder.max):
+        with pytest.raises(ValueError, match="no samples"):
+            call()
+    with pytest.raises(ValueError, match="no samples"):
+        recorder.percentile(50)
+
+
+def test_latency_recorder_percentile_bounds():
+    recorder = LatencyRecorder()
+    for value in (10, 20, 30):
+        recorder.record(value)
+    assert recorder.percentile(0) == 10
+    assert recorder.percentile(100) == 30
+    with pytest.raises(ValueError, match="out of range"):
+        recorder.percentile(-0.1)
+    with pytest.raises(ValueError, match="out of range"):
+        recorder.percentile(100.1)
+
+
+def test_latency_recorder_cache_invalidated_on_record():
+    recorder = LatencyRecorder()
+    recorder.record(100)
+    assert recorder.percentile(100) == 100
+    # A later, larger sample must be visible to the cached sorted view.
+    recorder.record(500)
+    assert recorder.percentile(100) == 500
+    assert recorder.percentile(50) == 100
+
+
+def test_timeseries_value_at_exact_and_between():
+    series = TimeSeries("t")
+    series.sample(100, 1.0)
+    series.sample(200, 2.0)
+    assert series.value_at(100) == 1.0   # exact hit
+    assert series.value_at(199) == 1.0   # holds until next sample
+    assert series.value_at(10_000) == 2.0
+    with pytest.raises(ValueError, match="no sample at or before"):
+        series.value_at(99)
+
+
+def test_timeseries_range_queries():
+    series = TimeSeries("r")
+    for t, v in ((0, 4.0), (100, 1.0), (200, 9.0), (300, 2.0)):
+        series.sample(t, v)
+    assert series.min(t_from=100, t_to=300) == 1.0
+    assert series.max(t_from=100, t_to=200) == 9.0
+    assert series.max() == 9.0
+    # Inclusive bounds on both ends.
+    assert series.min(t_from=300, t_to=300) == 2.0
+    with pytest.raises(ValueError, match="no samples in range"):
+        series.min(t_from=301, t_to=400)
+
+
+def test_timeseries_empty_errors():
+    series = TimeSeries("empty")
+    with pytest.raises(ValueError):
+        series.value_at(0)
+    with pytest.raises(ValueError):
+        series.mean()

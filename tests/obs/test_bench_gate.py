@@ -1,0 +1,76 @@
+"""The obs-overhead gate in the perf-regression harness."""
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+if str(REPO / "benchmarks") not in sys.path:
+    sys.path.insert(0, str(REPO / "benchmarks"))
+
+from perf.harness import (  # noqa: E402
+    OBS_OVERHEAD_CEILING,
+    bench_obs_pair,
+    check_regression,
+)
+
+
+def report_with(overhead: float, obs_calls: int = 0,
+                events_match: bool = True) -> dict:
+    return {
+        "obs": {
+            "kind": "pktgen", "config": "remote",
+            "off": {"events": 100, "wall_s": 1.0, "events_per_sec": 10000},
+            "disabled": {
+                "events": 100, "wall_s": 1.0,
+                "events_per_sec": int(10000 * (1 - overhead)),
+            },
+            "enabled": {
+                "events": 110, "wall_s": 1.1, "events_per_sec": 9500,
+            },
+            "disabled_overhead": overhead,
+            "enabled_overhead": 0.05,
+            "events_match": events_match,
+            "disabled_obs_calls": obs_calls,
+        },
+    }
+
+
+def test_gate_passes_when_disabled_leg_does_no_work():
+    # Zero obs calls + identical event stream => structurally 0%
+    # overhead; a noisy wall-clock ratio cannot fail the gate.
+    report = report_with(OBS_OVERHEAD_CEILING * 3, obs_calls=0)
+    assert check_regression(report, baseline={}) == []
+
+
+def test_gate_fails_on_hot_path_obs_calls_over_ceiling():
+    report = report_with(OBS_OVERHEAD_CEILING * 2, obs_calls=5000)
+    failures = check_regression(report, baseline={})
+    assert failures and "obs" in failures[0]
+
+
+def test_gate_passes_hot_path_calls_within_ceiling():
+    # The contract is <=2% events/sec, not zero calls.
+    report = report_with(OBS_OVERHEAD_CEILING / 2, obs_calls=100)
+    assert check_regression(report, baseline={}) == []
+
+
+def test_gate_fails_on_event_stream_change():
+    report = report_with(0.0, events_match=False)
+    failures = check_regression(report, baseline={})
+    assert failures and "event stream" in failures[0]
+
+
+def test_gate_tolerates_reports_without_obs():
+    # Old baselines and old reports predate the obs pair.
+    assert check_regression({}, baseline={}) == []
+
+
+def test_bench_obs_pair_disabled_leg_is_structurally_free():
+    """off and disabled legs must simulate the identical event stream
+    with zero calls into obs code; the enabled leg adds only sampler
+    wakeups."""
+    pair = bench_obs_pair(duration_ns=2_000_000, repeats=1)
+    assert pair["disabled"]["events"] == pair["off"]["events"]
+    assert pair["enabled"]["events"] > pair["off"]["events"]
+    assert pair["events_match"] is True
+    assert pair["disabled_obs_calls"] == 0

@@ -1,0 +1,108 @@
+"""Span and flow tracing: the Tracer upgrade beyond instant events."""
+
+import json
+
+from repro.sim.tracing import Tracer
+
+
+def make_tracer(**kwargs):
+    return Tracer(enabled=True, flows=True, **kwargs)
+
+
+def test_span_records_duration():
+    tracer = make_tracer()
+    tracer.span(1000, "pf0", "dma", 250)
+    (record,) = tracer.records
+    assert record.phase == "X"
+    assert record.dur == 250
+
+
+def test_flow_steps_form_a_staircase():
+    tracer = make_tracer()
+    flow = tracer.begin_flow(1000)
+    flow.step("wire", "wire.rx", 100)
+    flow.step("pf0", "dma.rx", 50)
+    flow.finish("app", "copy", 10)
+    times = [r.time for r in tracer.records]
+    assert times == [1000, 1100, 1150]          # each step advances cursor
+    phases = [r.flow_phase for r in tracer.records]
+    assert phases == ["s", "t", "f"]
+    assert len({r.flow_id for r in tracer.records}) == 1
+
+
+def test_flow_ids_increment_and_active_flow_clears():
+    tracer = make_tracer()
+    a = tracer.begin_flow(0)
+    assert tracer.active_flow is a
+    a.finish("x", "done", 0)
+    assert tracer.active_flow is None
+    b = tracer.begin_flow(10)
+    assert b.flow_id == a.flow_id + 1
+
+
+def test_flow_limit_caps_flows():
+    tracer = make_tracer(flow_limit=2)
+    assert tracer.begin_flow(0) is not None
+    tracer.active_flow.finish("x", "d", 0)
+    assert tracer.begin_flow(1) is not None
+    tracer.active_flow.finish("x", "d", 0)
+    assert tracer.begin_flow(2) is None        # over the cap
+
+
+def test_begin_flow_none_when_flows_off():
+    tracer = Tracer(enabled=True, flows=False)
+    assert tracer.begin_flow(0) is None
+    disabled = Tracer(enabled=False, flows=True)
+    assert disabled.begin_flow(0) is None
+
+
+def test_chrome_trace_emits_flow_arrows():
+    tracer = make_tracer()
+    flow = tracer.begin_flow(1000)
+    flow.step("wire", "wire.rx", 100, {"packets": 2})
+    flow.step("pf0", "dma.rx", 50)
+    flow.finish("app", "copy", 10)
+    doc = json.loads(tracer.to_chrome_trace())
+    events = doc["traceEvents"]
+    arrows = [e for e in events if e.get("cat") == "flow"]
+    assert [a["ph"] for a in arrows] == ["s", "t", "f"]
+    assert arrows[-1]["bp"] == "e"
+    assert len({a["id"] for a in arrows}) == 1
+    # The span carries structured args, not a stringified payload.
+    spans = [e for e in events if e.get("ph") == "X"]
+    assert spans[0]["args"] == {"packets": 2}
+    assert spans[0]["dur"] == 0.1              # 100 ns in us
+
+
+def test_chrome_trace_counter_and_histogram_rows():
+    tracer = make_tracer()
+    tracer.emit(0, "pf0", "start")
+    doc = json.loads(tracer.to_chrome_trace(
+        counters={"qpi.util": [(0, 0.5), (1000, 0.7)]},
+        histograms={"rtt": {"count": 2, "p50": 10}}))
+    events = doc["traceEvents"]
+    counters = [e for e in events if e.get("ph") == "C"]
+    assert len(counters) == 2
+    assert counters[0]["args"] == {"value": 0.5}
+    meta = [e for e in events
+            if e.get("ph") == "M" and e["name"] == "histogram:rtt"]
+    assert meta and meta[0]["args"]["p50"] == 10
+
+
+def test_by_flow_filters_records():
+    tracer = make_tracer()
+    a = tracer.begin_flow(0)
+    a.step("x", "one", 1)
+    a.finish("x", "two", 1)
+    b = tracer.begin_flow(100)
+    b.finish("y", "three", 1)
+    assert len(tracer.by_flow(a.flow_id)) == 2
+    assert len(tracer.by_flow(b.flow_id)) == 1
+
+
+def test_clear_resets_flow_state():
+    tracer = make_tracer()
+    tracer.begin_flow(0)
+    tracer.clear()
+    assert tracer.records == []
+    assert tracer.active_flow is None

@@ -12,7 +12,8 @@ events-per-packet grows, serial figure wall-clock grows by more than
 ``--threshold`` (default 20%) against the baseline report, or the
 adaptive train fast path no longer cuts events-per-packet by at least
 its floor (see ``perf.harness.ADAPTIVE_REDUCTION_FLOOR``) on the fig08
-pktgen point.
+pktgen point, or carrying a disabled ObsSession costs more than
+``perf.harness.OBS_OVERHEAD_CEILING`` of events/sec.
 """
 
 from __future__ import annotations
