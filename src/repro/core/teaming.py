@@ -83,7 +83,15 @@ class OctoTeamDriver(OctoTeam, NetDriver):
             apply()
             self.steering_updates += 1
         else:
-            self._apply_after(self._drain_delay_ns(old_queue), apply)
+            def deferred():
+                # No-reorder rule: the old Rx queue must have drained by
+                # the time the ARFS/IOctoRFS update lands.
+                self.machine.tracer.emit(
+                    self.env.now, self.name, "steer.applied",
+                    f"flow={flow.src_port}->{flow.dst_port} "
+                    f"pf={pf_id} residual={old_queue.outstanding}")
+                apply()
+            self._apply_after(self._drain_delay_ns(old_queue), deferred)
 
     # ------------------------------------------------- teaming personality
 

@@ -119,14 +119,19 @@ class OctoTeam:
         self._after_rehome()
 
         apply_resteer, detail = self._plan_failover_resteer(pf, fallback)
-        drain = max((self._drain_delay_ns(q)
-                     for q in self._drainable(moved)), default=0)
+        gating = self._drainable(moved)
+        drain = max((self._drain_delay_ns(q) for q in gating), default=0)
 
         def apply():
+            # No-reorder rule (§4.2): by the time the re-steer applies,
+            # the drain-gated queues must be empty.  Record the residual
+            # so the fuzz invariants can check it from the trace alone.
+            residual = sum(q.outstanding for q in gating)
             apply_resteer()
             self.failovers += 1
             self._trace("failover.applied",
-                        f"pf{pf.pf_id}->pf{fallback.pf_id} {detail}")
+                        f"pf{pf.pf_id}->pf{fallback.pf_id} {detail} "
+                        f"residual={residual}")
 
         self._trace("failover.begin",
                     f"pf{pf.pf_id}->pf{fallback.pf_id} "
@@ -149,9 +154,11 @@ class OctoTeam:
                     default=0)
 
         def apply():
+            residual = sum(q.outstanding for q in drainable)
             apply_resteer()
             self.recoveries += 1
-            self._trace("recovery.applied", f"pf{pf.pf_id} {detail}")
+            self._trace("recovery.applied",
+                        f"pf{pf.pf_id} {detail} residual={residual}")
 
         self._trace("recovery.begin",
                     f"pf{pf.pf_id} queues={len(back)} "

@@ -57,6 +57,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "obs":
         from repro.obs.cli import main as obs_main
         return obs_main(argv[1:])
+    if argv and argv[0] == "fuzz":
+        from repro.fuzz.cli import main as fuzz_main
+        return fuzz_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.jobs is not None or args.cache_dir is not None:
         from repro.experiments.sweep import configure

@@ -48,24 +48,47 @@ class FaultSpec:
         if self.duration_ns is not None and self.duration_ns < 1:
             raise ValueError(
                 f"duration_ns must be >= 1 or None, got {self.duration_ns}")
+        for name, probability in (
+                ("loss_probability", self.loss_probability),
+                ("corrupt_probability", self.corrupt_probability)):
+            if not 0.0 <= probability <= 1.0:
+                raise ValueError(
+                    f"{self.kind}: {name} must be in [0, 1], "
+                    f"got {probability}")
+        if self.loss_probability + self.corrupt_probability > 1.0:
+            raise ValueError(
+                f"{self.kind}: loss_probability + corrupt_probability "
+                f"must not exceed 1, got "
+                f"{self.loss_probability + self.corrupt_probability}")
         if self.kind in ("pf_down", "pcie_link_down", "pcie_degrade"):
             if self.pf_id is None:
-                raise ValueError(f"{self.kind} needs a pf_id")
+                raise ValueError(
+                    f"{self.kind} targets one physical function: "
+                    f"pass pf_id")
+            if self.pf_id < 0:
+                raise ValueError(
+                    f"{self.kind}: pf_id must be >= 0, got {self.pf_id}")
         if self.kind == "pcie_degrade" and (self.lanes is None
                                             or self.lanes < 1):
-            raise ValueError("pcie_degrade needs lanes >= 1")
+            raise ValueError(
+                f"pcie_degrade retrains the link narrower: pass "
+                f"lanes >= 1, got {self.lanes}")
         if self.kind == "wire_loss":
             if self.loss_probability <= 0 and self.corrupt_probability <= 0:
                 raise ValueError(
                     "wire_loss needs loss_probability and/or "
-                    "corrupt_probability > 0")
+                    "corrupt_probability > 0 (both were 0)")
         if self.kind == "qpi_throttle":
             if self.src_node is None or self.dst_node is None:
-                raise ValueError("qpi_throttle needs src_node and dst_node")
+                raise ValueError(
+                    "qpi_throttle targets one interconnect direction: "
+                    "pass both src_node and dst_node")
             if self.throttle_factor is None or not (
                     0.0 < self.throttle_factor < 1.0):
                 raise ValueError(
-                    "qpi_throttle needs throttle_factor in (0, 1)")
+                    f"qpi_throttle needs throttle_factor > 0 and < 1 "
+                    f"(the fraction of link rate that remains), got "
+                    f"{self.throttle_factor}")
 
     @property
     def is_transient(self) -> bool:

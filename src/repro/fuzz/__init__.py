@@ -1,0 +1,38 @@
+"""Property-based fault/traffic fuzzing with invariant checking.
+
+The harness expands a single master seed into whole test cases —
+topology variant x workload mix x overlapping fault plan — runs each on
+a fresh seeded testbed, and checks a catalogue of global invariants
+after every run (byte conservation wire->app, the §4.2 no-reorder rule,
+bit-identical replay, exact-vs-adaptive agreement, observability
+consistency).  Failing cases are shrunk to minimal repros and
+serialized into a corpus replayed as regression tests.
+
+Entry points: ``ioctopus-repro fuzz`` (CLI), :func:`fuzz` (the campaign
+driver), :func:`run_case` (one case), :func:`generate_case` (the
+generator), :func:`replay_corpus` (regression replay).
+"""
+
+from repro.fuzz.case import FuzzCase, generate_case
+from repro.fuzz.corpus import load_corpus, replay_corpus, replay_entry
+from repro.fuzz.harness import fuzz
+from repro.fuzz.invariants import (ALL_INVARIANTS, DEFAULT_INVARIANTS,
+                                   INVARIANTS)
+from repro.fuzz.runner import execute, fingerprint, run_case
+from repro.fuzz.shrink import shrink
+
+__all__ = [
+    "ALL_INVARIANTS",
+    "DEFAULT_INVARIANTS",
+    "FuzzCase",
+    "INVARIANTS",
+    "execute",
+    "fingerprint",
+    "fuzz",
+    "generate_case",
+    "load_corpus",
+    "replay_corpus",
+    "replay_entry",
+    "run_case",
+    "shrink",
+]

@@ -1,0 +1,93 @@
+"""The regression corpus: shrunk repros serialized for replay.
+
+Layout: one JSON file per entry in the corpus directory (the repo
+commits ``tests/corpus/``).  An entry records everything needed to
+re-run the case bit-identically and to notice drift::
+
+    {
+      "case":        { ... FuzzCase.to_dict() ... },
+      "invariants":  ["conservation", ...],   # what was checked
+      "violations":  ["no_reorder"],          # names seen when recorded
+                                              # ([] = regression now fixed
+                                              #  or determinism pin)
+      "fingerprint": "sha256...",             # exact-mode observation
+      "found": {"master_seed": 0, "index": 17}
+    }
+
+Replay re-runs the case with the recorded invariant selection and
+demands (a) the same violation *names* and (b) a byte-identical
+observation fingerprint — the same policy as the determinism goldens: a
+changed fingerprint is a behaviour change someone must explain.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Dict, List, Optional
+
+from repro.fuzz.runner import run_case
+
+_SAFE = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def entry_path(directory: str, case_id: str) -> str:
+    return os.path.join(directory, f"{_SAFE.sub('_', case_id)}.json")
+
+
+def save_entry(directory: str, entry: Dict) -> str:
+    os.makedirs(directory, exist_ok=True)
+    path = entry_path(directory, entry["case"]["case_id"])
+    with open(path, "w") as handle:
+        json.dump(entry, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_corpus(directory: str) -> List[Dict]:
+    if not os.path.isdir(directory):
+        return []
+    entries = []
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        with open(os.path.join(directory, name)) as handle:
+            entry = json.load(handle)
+        entry["_file"] = name
+        entries.append(entry)
+    return entries
+
+
+def replay_entry(entry: Dict) -> Dict:
+    """Re-run one corpus entry; returns ``{ok, mismatches, result}``."""
+    result = run_case(entry["case"], invariants=entry.get("invariants"))
+    mismatches: List[str] = []
+    want_names = sorted(set(entry.get("violations", [])))
+    got_names = sorted({v["invariant"] for v in result["violations"]})
+    if want_names != got_names:
+        mismatches.append(f"violations changed: recorded {want_names}, "
+                          f"replay got {got_names}")
+    recorded = entry.get("fingerprint")
+    if recorded and result["fingerprint"] != recorded:
+        mismatches.append(f"fingerprint changed: recorded "
+                          f"{recorded[:16]}..., replay got "
+                          f"{result['fingerprint'][:16]}...")
+    return {"ok": not mismatches, "mismatches": mismatches,
+            "result": result}
+
+
+def replay_corpus(directory: str,
+                  entries: Optional[List[Dict]] = None) -> Dict:
+    """Replay every committed repro; returns a summary dict."""
+    entries = load_corpus(directory) if entries is None else entries
+    replays = []
+    for entry in entries:
+        outcome = replay_entry(entry)
+        replays.append({"case_id": entry["case"]["case_id"],
+                        "file": entry.get("_file"),
+                        "ok": outcome["ok"],
+                        "mismatches": outcome["mismatches"]})
+    return {"total": len(replays),
+            "failed": sum(1 for r in replays if not r["ok"]),
+            "replays": replays}

@@ -1,0 +1,95 @@
+"""The fuzz campaign driver: generate, run, shrink, serialize.
+
+Cases fan out across workers through the figures' own
+:func:`~repro.experiments.sweep.sweep_map` executor (``--jobs``), in
+chunks so a wall-clock time budget can stop a campaign between chunks
+without losing finished results.  Every failing case is shrunk to a
+minimal repro and (optionally) serialized into the corpus directory for
+replay as a regression test.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.experiments.sweep import sweep_map
+from repro.fuzz.case import generate_case
+from repro.fuzz.corpus import save_entry
+from repro.fuzz.invariants import DEFAULT_INVARIANTS, validate_names
+from repro.fuzz.runner import run_case
+from repro.fuzz.shrink import DEFAULT_BUDGET, shrink
+
+#: Cases per sweep chunk: large enough to amortise worker startup, small
+#: enough that a time budget reacts within a few seconds.
+CHUNK = 8
+
+
+def fuzz(master_seed: int = 0, cases: int = 25,
+         invariants: Optional[List[str]] = None,
+         jobs: Optional[int] = None,
+         time_budget_s: Optional[float] = None,
+         corpus_dir: Optional[str] = None,
+         shrink_budget: int = DEFAULT_BUDGET,
+         log=None) -> Dict:
+    """Run one fuzz campaign; returns a summary dict.
+
+    ``invariants=None`` selects :data:`DEFAULT_INVARIANTS`.  When
+    ``corpus_dir`` is given, each shrunk repro is written there.
+    """
+    names = list(invariants) if invariants else list(DEFAULT_INVARIANTS)
+    validate_names(names)
+    say = log or (lambda message: None)
+    started = time.time()
+
+    points = [{"case": generate_case(master_seed, i).to_dict(),
+               "invariants": names}
+              for i in range(cases)]
+    results: List[Dict] = []
+    truncated = False
+    for lo in range(0, len(points), CHUNK):
+        if time_budget_s and time.time() - started > time_budget_s:
+            truncated = True
+            say(f"time budget hit after {len(results)}/{cases} cases; "
+                f"dropping the remaining {cases - len(results)}")
+            break
+        results.extend(sweep_map(run_case, points[lo:lo + CHUNK],
+                                 jobs=jobs))
+        say(f"{len(results)}/{cases} cases run, "
+            f"{sum(1 for r in results if r['violations'])} failing")
+
+    failures = [r for r in results if r["violations"]]
+    repros: List[Dict] = []
+    for failure in failures:
+        violated = {v["invariant"] for v in failure["violations"]}
+        say(f"shrinking {failure['case']['case_id']} "
+            f"(violated: {sorted(violated)})")
+        minimal, final, used = shrink(failure["case"], violated, names,
+                                      budget=shrink_budget)
+        entry = {
+            "case": minimal,
+            "invariants": names,
+            "violations": sorted({v["invariant"]
+                                  for v in final["violations"]}),
+            "details": [v["detail"] for v in final["violations"]],
+            "fingerprint": final["fingerprint"],
+            "found": {"master_seed": master_seed,
+                      "original_case_id": failure["case"]["case_id"]},
+        }
+        if corpus_dir:
+            path = save_entry(corpus_dir, entry)
+            say(f"  minimal repro ({len(minimal['faults'])} faults, "
+                f"{used} shrink runs) -> {path}")
+        repros.append(entry)
+
+    return {
+        "cases_run": len(results),
+        "cases_requested": cases,
+        "truncated": truncated,
+        "crashed": sum(1 for r in results if r["outcome"] == "crashed"),
+        "failures": len(failures),
+        "invariants": names,
+        "repros": repros,
+        "results": results,
+        "elapsed_s": round(time.time() - started, 3),
+    }

@@ -1,0 +1,125 @@
+"""Failing-case shrinking: reduce a violating case to a minimal repro.
+
+Greedy delta-debugging over the case structure.  Candidate edits, in
+order of how much they simplify the repro:
+
+1. drop one fault entirely;
+2. halve one fault's duration;
+3. halve the case duration (faults clipped to stay inside it);
+4. replace the workload with a simpler one (colocated/memcached/tcp_rr
+   collapse toward a single TCP_STREAM flow);
+5. reduce traffic (fewer fio threads / memcached workers, shallower
+   iodepth).
+
+A candidate is accepted when re-running it still violates at least one
+of the *originally*-violated invariants — the shrunk case must fail for
+the same reason, not a new one.  Each accepted edit restarts the pass,
+so the loop runs to a fixpoint bounded by an execution budget.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.fuzz.runner import run_case
+
+#: Shortest case duration the shrinker will try.
+MIN_DURATION_NS = 250_000
+
+#: Default cap on candidate executions per shrink.
+DEFAULT_BUDGET = 48
+
+#: Workload simplification ladder (applied only while still failing).
+SIMPLER_WORKLOAD = {
+    "colocated": "tcp_stream",
+    "memcached": "tcp_stream",
+    "tcp_rr": "tcp_stream",
+    "tcp_stream": "pktgen",
+}
+
+
+def _clip_faults(case: Dict) -> None:
+    """Keep every fault inside the (possibly shortened) run."""
+    horizon = case["duration_ns"]
+    kept = []
+    for fault in case["faults"]:
+        if fault["at_ns"] >= horizon:
+            continue
+        fault = dict(fault)
+        fault["duration_ns"] = max(1, min(fault["duration_ns"], horizon))
+        kept.append(fault)
+    case["faults"] = kept
+
+
+def _simplified_params(workload: str, params: Dict) -> Dict:
+    if workload == "tcp_stream":
+        return {"message_bytes": params.get("message_bytes", 4096),
+                "direction": params.get("direction", "rx")}
+    if workload == "pktgen":
+        return {"packet_bytes": 256}
+    return params
+
+
+def candidates(case: Dict) -> Iterator[Dict]:
+    """Every one-step simplification of ``case``, most aggressive first."""
+    for i in range(len(case["faults"])):
+        cand = copy.deepcopy(case)
+        del cand["faults"][i]
+        yield cand
+    for i, fault in enumerate(case["faults"]):
+        if fault["duration_ns"] > 1_000:
+            cand = copy.deepcopy(case)
+            cand["faults"][i]["duration_ns"] = fault["duration_ns"] // 2
+            yield cand
+    if case["duration_ns"] > MIN_DURATION_NS:
+        cand = copy.deepcopy(case)
+        cand["duration_ns"] = max(MIN_DURATION_NS,
+                                  case["duration_ns"] // 2)
+        _clip_faults(cand)
+        yield cand
+    simpler = SIMPLER_WORKLOAD.get(case["workload"])
+    if simpler is not None:
+        cand = copy.deepcopy(case)
+        cand["workload"] = simpler
+        cand["params"] = _simplified_params(simpler, case["params"])
+        # An SSD-targeted fault has no target without the NVMe side.
+        cand["faults"] = [f for f in cand["faults"]
+                          if f["target"] == "nic"]
+        yield cand
+    for knob, floor in (("threads", 1), ("workers", 1), ("iodepth", 8)):
+        if case["params"].get(knob, floor) > floor:
+            cand = copy.deepcopy(case)
+            cand["params"][knob] = floor
+            yield cand
+
+
+def shrink(case: Dict, violated: Set[str], invariants: List[str],
+           budget: int = DEFAULT_BUDGET) -> Tuple[Dict, Dict, int]:
+    """Minimise ``case`` while it still violates one of ``violated``.
+
+    Returns ``(minimal_case, final_result, executions_used)`` where
+    ``final_result`` is the :func:`run_case` result of the minimal case.
+    """
+    current = copy.deepcopy(case)
+    final = None
+    executions = 0
+    improved = True
+    while improved and executions < budget:
+        improved = False
+        for cand in candidates(current):
+            if executions >= budget:
+                break
+            result = run_case(cand, invariants=invariants)
+            executions += 1
+            names = {v["invariant"] for v in result["violations"]}
+            if names & violated:
+                cand["case_id"] = case["case_id"] + "-min"
+                current = cand
+                final = result
+                improved = True
+                break
+    if final is None:
+        final = run_case(current, invariants=invariants)
+        executions += 1
+    return current, final, executions

@@ -67,6 +67,11 @@ class EthernetWire:
         self.drops_total = 0
         self.corruptions_total = 0
         self.retransmitted_packets = 0
+        #: Offered load per direction, before impairment retransmits:
+        #: what the senders handed to the wire.  Invariant checks compare
+        #: these against the receive-side NIC queue ledgers.
+        self.packets_offered = {"a_to_b": 0, "b_to_a": 0}
+        self.payload_bytes_offered = {"a_to_b": 0, "b_to_a": 0}
 
     # -------------------------------------------------------- impairment
 
@@ -91,6 +96,8 @@ class EthernetWire:
         if npackets < 0:
             raise ValueError(f"negative packet count {npackets}")
         server = self._server(direction)
+        self.packets_offered[direction] += npackets
+        self.payload_bytes_offered[direction] += npackets * payload_bytes
         total = npackets * wire_bytes(payload_bytes)
         delay = self.propagation_ns + server.account(total)
         if self._impairment is not None and npackets:

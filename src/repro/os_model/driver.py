@@ -105,4 +105,10 @@ class StandardDriver(NetDriver):
             apply()
             self.steering_updates += 1
         else:
-            self._apply_after(self._drain_delay_ns(old_queue), apply)
+            def deferred():
+                self.machine.tracer.emit(
+                    self.env.now, self.name, "steer.applied",
+                    f"flow={flow.src_port}->{flow.dst_port} "
+                    f"pf={self.pf_id} residual={old_queue.outstanding}")
+                apply()
+            self._apply_after(self._drain_delay_ns(old_queue), deferred)

@@ -59,6 +59,10 @@ class Socket:
         self.closed = False
         self.rx_messages = 0
         self.tx_messages = 0
+        #: Payload bytes this socket received/sent (app-level ledger;
+        #: invariant checks conserve these against the NIC queue ledgers).
+        self.rx_payload_bytes = 0
+        self.tx_payload_bytes = 0
 
     def __repr__(self) -> str:
         return f"<Socket {self.flow.src_port}->{self.flow.dst_port}>"
@@ -73,6 +77,9 @@ class NetworkStack:
         self.costs = machine.spec.software
         self.memory = machine.memory
         self._sockets_by_thread: Dict[SimThread, List[Socket]] = {}
+        #: Every socket ever opened on this stack, closed ones included
+        #: (the fuzz invariants sum per-socket ledgers over the full run).
+        self.sockets: List[Socket] = []
         scheduler.on_migration(self._on_migration)
 
     # ------------------------------------------------------------ sockets
@@ -82,6 +89,7 @@ class NetworkStack:
         sock = Socket(self, thread, driver, flow, app_buffer_bytes)
         driver.steer_rx(flow, thread.core, immediate=True)
         self._sockets_by_thread.setdefault(thread, []).append(sock)
+        self.sockets.append(sock)
         return sock
 
     def close(self, sock: Socket) -> None:
@@ -173,6 +181,7 @@ class NetworkStack:
             sock.flow, sock.dst_mac, npackets, payload)
         delivered.outstanding = max(0, delivered.outstanding - npackets)
         sock.rx_messages += total_messages
+        sock.rx_payload_bytes += total_bytes
         return cpu, dev_ns
 
     # ------------------------------------------------ throughput: transmit
@@ -235,6 +244,7 @@ class NetworkStack:
             cpu += sock.driver.completion.consume(rxq, nacks, node)
             dev_ns = max(dev_ns, dev_ack)
         sock.tx_messages += total_messages
+        sock.tx_payload_bytes += total_bytes
         return cpu, dev_ns
 
     # ------------------------------------------------------ latency paths
@@ -279,6 +289,7 @@ class NetworkStack:
                         {"bytes": total})
         latency += app
         sock.rx_messages += 1
+        sock.rx_payload_bytes += total
         return latency
 
     def latency_tx(self, sock: Socket, message_bytes: int,
@@ -307,4 +318,5 @@ class NetworkStack:
         if flow is not None:
             flow.finish("wire", "tx.done", 0)
         sock.tx_messages += 1
+        sock.tx_payload_bytes += total
         return latency

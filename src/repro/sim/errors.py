@@ -23,6 +23,24 @@ class DeviceTimeoutError(SimulationError):
     hardware."""
 
 
+class RetriesExhausted(DeviceTimeoutError):
+    """Typed retry-budget exhaustion: the attempt cap or the sim-time
+    deadline of :meth:`repro.device.driver.DeviceDriver.call_with_retry`
+    was hit.
+
+    Subclasses :class:`DeviceTimeoutError` so existing ``except`` clauses
+    keep working; carries the budget that ran out so fuzzed permanent
+    faults fail loudly with a diagnosable error instead of hanging.
+    """
+
+    def __init__(self, message: str, attempts: int = 0,
+                 elapsed_ns: int = 0, last_error=None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.elapsed_ns = elapsed_ns
+        self.last_error = last_error
+
+
 class Interrupt(SimulationError):
     """Raised inside a process that another process interrupted.
 

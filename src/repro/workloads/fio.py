@@ -10,7 +10,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.nvme.driver import NvmeDriver
-from repro.sim.errors import DeviceTimeoutError
+from repro.sim.errors import RetriesExhausted
 from repro.units import KB
 from repro.workloads.base import Workload, measured_meter
 
@@ -46,7 +46,7 @@ class FioReader(Workload):
                     lambda: self.driver.submit_read(
                         thread.core, self.block_bytes,
                         ncmds=self.iodepth))
-            except DeviceTimeoutError as error:
+            except RetriesExhausted as error:
                 self.errors.append(str(error))
                 break
             if self.in_measurement():

@@ -1,0 +1,113 @@
+"""The corpus: save/load/replay round trips, and the committed entries.
+
+``tests/corpus/`` holds committed determinism pins: shrunk, diverse
+cases recorded with their violation set (empty = the case passes) and
+the exact-mode observation fingerprint.  Replaying them is the fuzz
+harness's regression suite — a changed fingerprint is a behaviour
+change someone must explain, same policy as the goldens.
+"""
+
+import json
+import os
+
+from repro.fuzz.case import FuzzCase
+from repro.fuzz.corpus import (entry_path, load_corpus, replay_corpus,
+                               replay_entry, save_entry)
+from repro.fuzz.runner import run_case
+
+COMMITTED = os.path.join(os.path.dirname(__file__), "..", "corpus")
+
+
+def small_entry():
+    case = {
+        "case_id": "corpus-test", "seed": 3, "config": "ioctopus",
+        "workload": "pktgen", "params": {"packet_bytes": 256},
+        "duration_ns": 500_000, "faults": [],
+    }
+    result = run_case(case, invariants=["conservation", "replay"])
+    return {"case": case, "invariants": ["conservation", "replay"],
+            "violations": [], "fingerprint": result["fingerprint"],
+            "found": {"master_seed": 3}}
+
+
+def test_save_load_round_trip(tmp_path):
+    entry = small_entry()
+    path = save_entry(str(tmp_path), entry)
+    assert path == entry_path(str(tmp_path), "corpus-test")
+    loaded = load_corpus(str(tmp_path))
+    assert len(loaded) == 1
+    assert loaded[0]["case"] == entry["case"]
+    assert loaded[0]["fingerprint"] == entry["fingerprint"]
+
+
+def test_entry_path_sanitizes_case_ids(tmp_path):
+    path = entry_path(str(tmp_path), "we/ird id!")
+    assert os.path.basename(path) == "we_ird_id_.json"
+
+
+def test_replay_matches_recorded_entry(tmp_path):
+    entry = small_entry()
+    outcome = replay_entry(entry)
+    assert outcome["ok"], outcome["mismatches"]
+
+
+def test_replay_detects_fingerprint_drift():
+    entry = small_entry()
+    entry["fingerprint"] = "0" * 64
+    outcome = replay_entry(entry)
+    assert not outcome["ok"]
+    assert any("fingerprint changed" in m for m in outcome["mismatches"])
+
+
+def test_replay_detects_violation_drift():
+    entry = small_entry()
+    entry["violations"] = ["no_reorder"]
+    outcome = replay_entry(entry)
+    assert not outcome["ok"]
+    assert any("violations changed" in m for m in outcome["mismatches"])
+
+
+def test_replay_corpus_summarises(tmp_path):
+    save_entry(str(tmp_path), small_entry())
+    summary = replay_corpus(str(tmp_path))
+    assert summary["total"] == 1
+    assert summary["failed"] == 0
+
+
+def test_missing_corpus_dir_is_empty():
+    assert load_corpus("/nonexistent/corpus/dir") == []
+
+
+# ------------------------------------------------ the committed corpus
+
+def test_committed_corpus_exists_and_is_well_formed():
+    entries = load_corpus(COMMITTED)
+    assert len(entries) >= 5
+    kinds, workloads = set(), set()
+    for entry in entries:
+        case = FuzzCase.from_dict(entry["case"])   # full validation
+        assert entry["fingerprint"]
+        assert isinstance(entry["violations"], list)
+        workloads.add(case.workload)
+        kinds.update(case.fault_kinds())
+    # The pins must stay diverse: several fault kinds and workloads.
+    assert len(kinds) >= 4
+    assert len(workloads) >= 3
+
+
+def test_committed_corpus_replays_bit_identically():
+    summary = replay_corpus(COMMITTED)
+    assert summary["total"] >= 5
+    failed = [r for r in summary["replays"] if not r["ok"]]
+    assert not failed, failed
+
+
+def test_committed_corpus_files_are_canonical_json():
+    for name in sorted(os.listdir(COMMITTED)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(COMMITTED, name)
+        with open(path) as handle:
+            text = handle.read()
+        entry = json.loads(text)
+        assert text == json.dumps(entry, indent=2, sort_keys=True) + "\n"

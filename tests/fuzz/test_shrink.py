@@ -1,0 +1,107 @@
+"""The shrinker: candidates stay well-formed, repros shrink to minimal."""
+
+from repro.fuzz.case import FuzzCase, generate_case
+from repro.fuzz.invariants import DEFAULT_INVARIANTS
+from repro.fuzz.runner import run_case
+from repro.fuzz.shrink import MIN_DURATION_NS, candidates, shrink
+
+
+def multi_fault_case():
+    return {
+        "case_id": "shrink-test", "seed": 5, "config": "ioctopus",
+        "workload": "colocated",
+        "params": {"message_bytes": 4096, "block_bytes": 32768,
+                   "iodepth": 8},
+        "duration_ns": 2_000_000,
+        "faults": [
+            {"target": "nic", "kind": "pf_down", "at_ns": 200_000,
+             "duration_ns": 100_000, "pf_id": 1},
+            {"target": "ssd", "kind": "pcie_degrade", "at_ns": 300_000,
+             "duration_ns": 400_000, "pf_id": 0, "lanes": 2},
+            {"target": "nic", "kind": "wire_loss", "at_ns": 500_000,
+             "duration_ns": 100_000, "loss_probability": 0.01},
+        ],
+    }
+
+
+def test_candidates_are_all_valid_cases():
+    seen = 0
+    for cand in candidates(multi_fault_case()):
+        FuzzCase.from_dict(cand)   # raises on any malformed candidate
+        seen += 1
+    assert seen >= 6   # 3 fault-drops + duration halvings + workload + ...
+
+
+def test_candidates_simplify_monotonically():
+    case = multi_fault_case()
+    for cand in candidates(case):
+        assert (
+            len(cand["faults"]) < len(case["faults"])
+            or sum(f["duration_ns"] for f in cand["faults"])
+            < sum(f["duration_ns"] for f in case["faults"])
+            or cand["duration_ns"] < case["duration_ns"]
+            or cand["workload"] != case["workload"]
+            or cand["params"] != case["params"])
+
+
+def test_workload_simplification_drops_ssd_faults():
+    simpler = [c for c in candidates(multi_fault_case())
+               if c["workload"] == "tcp_stream"]
+    assert simpler
+    assert all(f["target"] == "nic" for f in simpler[0]["faults"])
+
+
+def test_duration_halving_clips_faults():
+    case = multi_fault_case()
+    case["duration_ns"] = MIN_DURATION_NS * 4
+    halved = [c for c in candidates(case)
+              if c["duration_ns"] == MIN_DURATION_NS * 2]
+    assert halved
+    for fault in halved[0]["faults"]:
+        assert fault["at_ns"] < MIN_DURATION_NS * 2
+        assert fault["duration_ns"] <= MIN_DURATION_NS * 2
+
+
+def test_mutation_failure_shrinks_to_minimal_repro():
+    # The acceptance bar: seed a case whose pf-level faults trip the
+    # deliberately-broken invariant, and the shrinker must reduce it to
+    # <= 2 faults while it still fails for the same reason.
+    invariants = list(DEFAULT_INVARIANTS) + ["mutation_smoke"]
+    case = multi_fault_case()
+    first = run_case(case, invariants=invariants)
+    assert {v["invariant"] for v in first["violations"]} == \
+        {"mutation_smoke"}
+
+    minimal, final, used = shrink(case, {"mutation_smoke"}, invariants)
+    assert len(minimal["faults"]) <= 2
+    assert minimal["case_id"] == "shrink-test-min"
+    assert {v["invariant"] for v in final["violations"]} == \
+        {"mutation_smoke"}
+    assert 0 < used <= 48
+    # The surviving fault must still be pf-level — shrinking never
+    # swaps the failure for a different one.
+    assert all(f["kind"] in ("pf_down", "pcie_link_down")
+               for f in minimal["faults"])
+
+
+def test_shrink_respects_budget():
+    invariants = list(DEFAULT_INVARIANTS) + ["mutation_smoke"]
+    minimal, final, used = shrink(multi_fault_case(), {"mutation_smoke"},
+                                  invariants, budget=3)
+    assert used <= 4   # budget exhausts, plus one final confirming run
+    assert final["violations"]
+
+
+def test_generated_cases_shrink_too():
+    # End-to-end on a generator-produced case known to fire a pf fault.
+    invariants = list(DEFAULT_INVARIANTS) + ["mutation_smoke"]
+    for index in range(30):
+        case = generate_case(0, index).to_dict()
+        result = run_case(case, invariants=invariants)
+        names = {v["invariant"] for v in result["violations"]}
+        if "mutation_smoke" in names:
+            minimal, final, _ = shrink(case, {"mutation_smoke"},
+                                       invariants)
+            assert len(minimal["faults"]) <= 2
+            return
+    raise AssertionError("no seed-0 case fired a pf-level fault")
