@@ -40,6 +40,19 @@ _pool_jobs = 0
 MIN_PARALLEL_POINTS = 4
 
 
+def would_parallelize(npoints: int, jobs: Optional[int] = None) -> bool:
+    """Whether :func:`sweep_map` would fan ``npoints`` uncached points
+    out to worker processes (as opposed to taking the inline serial
+    fallback).  The single predicate the executor uses, exposed so the
+    perf harness can tell a *structural* serial fallback (single-CPU
+    host, too few points, jobs=1 — parallel leg runs the identical
+    serial code, any measured "speedup" is pure timing noise) from a
+    real parallel run whose speedup is worth gating on."""
+    jobs = _jobs if jobs is None else jobs
+    return (jobs > 1 and (os.cpu_count() or 1) > 1
+            and npoints >= MIN_PARALLEL_POINTS)
+
+
 def _get_pool(jobs: int) -> ProcessPoolExecutor:
     global _pool, _pool_jobs
     if _pool is None or _pool_jobs != jobs:
@@ -165,8 +178,7 @@ def sweep_map(fn: Callable, points: Sequence[Dict],
     # more than one CPU to run them on, and enough uncached points to
     # amortise worker startup.  Everything else runs inline — on a
     # single-CPU host the pool only adds overhead (measured 0.75x).
-    if (jobs > 1 and (os.cpu_count() or 1) > 1
-            and len(pending) >= MIN_PARALLEL_POINTS):
+    if would_parallelize(len(pending), jobs):
         pool = _get_pool(jobs)
         futures = [(index, params, key,
                     pool.submit(_invoke, fn_path, params))

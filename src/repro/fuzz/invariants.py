@@ -22,7 +22,8 @@ list means the invariant held.  The catalogue:
   every trace flow is well-formed.
 * ``replay``    — (harness-level, in :func:`repro.fuzz.runner.run_case`)
   running the same case twice gives byte-identical observations.
-* ``agreement`` — (harness-level) exact and adaptive accuracy agree on
+* ``agreement`` — (harness-level) exact and each fast accuracy tier
+  (adaptive and fluid) agree on
   every primary metric within tolerance.  Only checked for cases whose
   faults are performance-only (degrade/loss/throttle): topology-killing
   faults land at different event boundaries under train coalescing, so

@@ -343,9 +343,12 @@ def run_case(case: Dict, invariants: Optional[List[str]] = None,
                           f"{got[:16]}"})
 
     if "agreement" in names and needs_adaptive_run(case, obs):
-        adaptive_obs = execute(fuzz_case, "adaptive", trace=False)
-        violations.extend(_check_agreement(obs, adaptive_obs,
-                                           agreement_rel))
+        # Every perf-only case is replayed under each fast accuracy
+        # tier; both must tell the exact mode's performance story.
+        for accuracy in ("adaptive", "fluid"):
+            fast_obs = execute(fuzz_case, accuracy, trace=False)
+            violations.extend(_check_agreement(obs, fast_obs,
+                                               agreement_rel, accuracy))
 
     return {
         "case": case,
@@ -372,9 +375,10 @@ LEDGER_AGREEMENT_REL = 0.02
 LEDGER_AGREEMENT_SLACK_BYTES = 2 * 64 * KB
 
 
-def _check_agreement(exact: Dict, adaptive: Dict,
-                     rel: float) -> List[Dict]:
-    """Exact and adaptive accuracy must tell the same performance story.
+def _check_agreement(exact: Dict, adaptive: Dict, rel: float,
+                     mode: str = "adaptive") -> List[Dict]:
+    """Exact and a fast accuracy tier (``mode``: adaptive or fluid)
+    must tell the same performance story.
 
     Two layers: full-run byte ledgers (tight — trains conserve bytes, so
     totals must match almost exactly) and workload meter rates (looser,
@@ -385,7 +389,7 @@ def _check_agreement(exact: Dict, adaptive: Dict,
         violations.append({
             "invariant": "agreement",
             "detail": f"outcome differs: exact={exact['outcome']} "
-                      f"adaptive={adaptive['outcome']}"})
+                      f"{mode}={adaptive['outcome']}"})
         return violations
 
     def close(want, got, tolerance):
@@ -406,7 +410,7 @@ def _check_agreement(exact: Dict, adaptive: Dict,
         if abs(got - want) > slack:
             violations.append({
                 "invariant": "agreement",
-                "detail": f"{label}: exact={want} adaptive={got} "
+                "detail": f"{label}: exact={want} {mode}={got} "
                           f"(tolerance {LEDGER_AGREEMENT_REL:.0%} or "
                           f"{LEDGER_AGREEMENT_SLACK_BYTES} B)"})
 
@@ -419,6 +423,6 @@ def _check_agreement(exact: Dict, adaptive: Dict,
         if not close(want, got, rel):
             violations.append({
                 "invariant": "agreement",
-                "detail": f"{name}: exact={want} adaptive={got} "
+                "detail": f"{name}: exact={want} {mode}={got} "
                           f"(tolerance {rel:.0%})"})
     return violations

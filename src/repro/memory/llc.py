@@ -19,6 +19,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.memory.batch import ddio_split
 from repro.memory.region import Region
 
 
@@ -89,6 +90,26 @@ class LastLevelCache:
         absorbed = min(nbytes, self.ddio_capacity)
         self._insert(region, absorbed, ddio=True)
         return absorbed
+
+    def ddio_write_batch(self, region: Region, sizes) -> int:
+        """DDIO allocation for back-to-back local DMA bursts (fluid
+        steady intervals).
+
+        Equivalent to one :meth:`ddio_write` per element of ``sizes``:
+        each burst absorbs up to the DDIO slice capacity, growth is
+        capped by the region size, and eviction runs once at the end —
+        the same final state as evicting after every burst, since no
+        other access interleaves within the batch.  Returns the total
+        bytes absorbed; the remainder is the caller's DRAM spill.  The
+        per-burst absorb/spill classification is vectorised
+        (:func:`repro.memory.batch.ddio_split`).
+        """
+        if region.non_temporal:
+            return 0
+        absorbed, _spills = ddio_split(sizes, self.ddio_capacity)
+        total = sum(absorbed)
+        self._insert(region, total, ddio=True)
+        return total
 
     def invalidate(self, region: Region, nbytes: Optional[int] = None) -> int:
         """Drop (up to) ``nbytes`` of the region; returns bytes dropped."""

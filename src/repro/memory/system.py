@@ -214,17 +214,31 @@ class MemorySystem:
     # ------------------------------------------------------------------
 
     def dma_write(self, device_node: int, region: Region,
-                  nbytes: int, engine=None) -> int:
+                  nbytes: int, engine=None, nbursts: int = 1) -> int:
         """A device writes ``nbytes`` into ``region``.
 
         Local + DDIO: allocate into the LLC's DDIO slice, DRAM untouched.
         Remote (or DDIO off): cross the interconnect, write DRAM, and
         invalidate the CPU-side cached copy.
+
+        ``nbytes`` is the total across ``nbursts`` back-to-back bursts.
+        With ``nbursts > 1`` (coalesced trains) the DDIO absorb/spill
+        split and the DMA-window serialization are applied *per burst*,
+        preserving the exact path's nonlinearity: K bursts each absorb up
+        to the DDIO slice, while one giant write would not — this is what
+        lets the fluid tier advance steady intervals far past the
+        2 MB-per-train byte cap without spilling where exact would not.
         """
         home = region.home_node
         if (device_node == home and self.ddio_enabled
                 and not region.non_temporal):
-            absorbed = self.llcs[home].ddio_write(region, nbytes)
+            if nbursts == 1:
+                absorbed = self.llcs[home].ddio_write(region, nbytes)
+            else:
+                per_burst = nbytes // nbursts
+                sizes = [per_burst] * (nbursts - 1)
+                sizes.append(nbytes - per_burst * (nbursts - 1))
+                absorbed = self.llcs[home].ddio_write_batch(region, sizes)
             spill = nbytes - absorbed
             delay = self.drams[home].write(spill) if spill else 0
             self._set_dma_resident(region, home if spill == 0 else None)
@@ -234,7 +248,7 @@ class MemorySystem:
         if device_node != home:
             qpi_delay = self.interconnect.traverse(device_node, home, nbytes)
             serial = self._dma_serialization(device_node, home, nbytes,
-                                             engine)
+                                             engine, nbursts)
             if serial > qpi_delay:
                 qpi_delay = serial
         self.llcs[home].invalidate(region, nbytes)
@@ -295,20 +309,34 @@ class MemorySystem:
     # ------------------------------------------------------------------
 
     def _dma_serialization(self, device_node: int, home: int,
-                           nbytes: int, engine=None) -> int:
+                           nbytes: int, engine=None,
+                           nbursts: int = 1) -> int:
         """Delay from the DMA engine's bounded in-flight line window.
 
         When ``engine`` (the issuing PF) is given, the window is a serial
         resource: concurrent remote transfers through one engine queue
         behind each other, which is what throttles an SSD or NIC behind a
         congested interconnect (§5.2, §5.4).
+
+        With ``nbursts > 1`` the window is charged per burst at the
+        current loaded round trip (the fluid tier's closed-form rate
+        share: within a steady interval the crossing latency is taken as
+        constant), matching the exact path's per-burst integer
+        truncation.
         """
-        lines = nbytes // CACHELINE
-        if lines < 1:
-            lines = 1
         round_trip = self.interconnect.loaded_round_trip_ns(device_node,
                                                             home)
-        duration = int(lines * round_trip / self.dma_outstanding_lines)
+        if nbursts == 1:
+            lines = nbytes // CACHELINE
+            if lines < 1:
+                lines = 1
+            duration = int(lines * round_trip / self.dma_outstanding_lines)
+        else:
+            lines = (nbytes // nbursts) // CACHELINE
+            if lines < 1:
+                lines = 1
+            duration = nbursts * int(
+                lines * round_trip / self.dma_outstanding_lines)
         if engine is None:
             return duration
         now = self.env._now

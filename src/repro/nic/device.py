@@ -72,14 +72,18 @@ class NicDevice(MultiPfDevice):
     # ----------------------------------------------------------- receive
 
     def rx_deliver(self, flow: Flow, dst_mac: str, npackets: int,
-                   payload_bytes: int,
-                   charge_wire: bool = True) -> Tuple[RxQueue, int]:
+                   payload_bytes: int, charge_wire: bool = True,
+                   nbursts: int = 1) -> Tuple[RxQueue, int]:
         """A packet batch arrives from the wire.
 
         The firmware steers it to a (PF, Rx queue); the device DMA-writes
         payloads into the queue's buffer region and one completion entry
         per packet into its ring.  Returns the queue and the device-side
         delay until the last completion is visible.
+
+        ``nbursts > 1`` marks the batch as that many back-to-back wire
+        bursts (a fluid steady interval): the payload/ring DMA is charged
+        per burst so DDIO absorption matches burst-by-burst execution.
         """
         if npackets < 1:
             raise ValueError(f"npackets must be >= 1, got {npackets}")
@@ -101,8 +105,10 @@ class NicDevice(MultiPfDevice):
         # Sequential transfers on one PCIe link queue behind each other,
         # so the later account() already includes the earlier's service:
         # the batch completes with the completion-ring write.
-        buf_delay = pf.dma_write(queue.buffers, payload_total)
-        ring_delay = pf.dma_write(queue.ring, npackets * CACHELINE)
+        buf_delay = pf.dma_write(queue.buffers, payload_total,
+                                 nbursts=nbursts)
+        ring_delay = pf.dma_write(queue.ring, npackets * CACHELINE,
+                                  nbursts=nbursts)
         dma_delay = max(buf_delay, ring_delay)
         delay = npackets * PIPELINE_NS_PER_PKT + max(wire_delay, dma_delay)
 
@@ -125,13 +131,15 @@ class NicDevice(MultiPfDevice):
     # ---------------------------------------------------------- transmit
 
     def tx(self, queue: TxQueue, src_region: Region, npackets: int,
-           payload_bytes: int, ndesc: Optional[int] = None) -> int:
+           payload_bytes: int, ndesc: Optional[int] = None,
+           nbursts: int = 1) -> int:
         """Transmit a batch posted on ``queue``.
 
         The device DMA-reads the descriptors and payload through the
         queue's PF, puts the packets on the wire, and DMA-writes one
         completion per descriptor back into the ring.  Returns the
-        device-side delay.
+        device-side delay.  ``nbursts > 1`` charges the completion
+        write-back per burst (fluid steady intervals).
         """
         if queue.pf is None:
             raise ValueError(f"{queue!r} is not bound to a PF")
@@ -156,7 +164,8 @@ class NicDevice(MultiPfDevice):
         # Completion write-back pipelines with the payload DMA; it is the
         # entry whose read costs the CPU ~80 ns when the PF is remote
         # (§5.1.1, pktgen analysis).
-        completion_delay = pf.dma_write(queue.ring, ndesc * CACHELINE)
+        completion_delay = pf.dma_write(queue.ring, ndesc * CACHELINE,
+                                        nbursts=nbursts)
         delay = (npackets * PIPELINE_NS_PER_PKT
                  + max(wire_delay, dma_delay, completion_delay))
 

@@ -178,7 +178,7 @@ class NetworkStack:
                                             total_bytes)
 
         delivered, dev_ns = sock.driver.device.rx_deliver(
-            sock.flow, sock.dst_mac, npackets, payload)
+            sock.flow, sock.dst_mac, npackets, payload, nbursts=ntrains)
         delivered.outstanding = max(0, delivered.outstanding - npackets)
         sock.rx_messages += total_messages
         sock.rx_payload_bytes += total_bytes
@@ -227,7 +227,7 @@ class NetworkStack:
         cpu += sock.driver.doorbell.ring(txq, node, times=ntrains)
 
         dev_ns = sock.driver.device.tx(txq, txq.skbs, npackets, payload,
-                                       ndesc=ndesc)
+                                       ndesc=ndesc, nbursts=ntrains)
         # Completion reads (the pktgen-style ~80 ns-per-miss path).
         cpu += sock.driver.completion.consume(txq, ndesc, node)
         # Interrupt per completion batch.
@@ -239,7 +239,8 @@ class NetworkStack:
         nacks = (burst_packets // 16) * ntrains
         if nacks:
             rxq = sock.driver.rx_queue_for_core(thread.core)
-            dev_ack = rxq.pf.dma_write(rxq.ring, nacks * 64)
+            dev_ack = rxq.pf.dma_write(rxq.ring, nacks * 64,
+                                       nbursts=ntrains)
             cpu += nacks * (self.costs.rx_pkt_ns // 2)
             cpu += sock.driver.completion.consume(rxq, nacks, node)
             dev_ns = max(dev_ns, dev_ack)

@@ -105,12 +105,23 @@ class PhysicalFunction:
 
     # ------------------------------------------------------------- DMA
 
-    def dma_write(self, region, nbytes: int) -> int:
-        """Device -> memory write through this PF; returns delay ns."""
+    def dma_write(self, region, nbytes: int, nbursts: int = 1) -> int:
+        """Device -> memory write through this PF; returns delay ns.
+
+        ``nbursts > 1`` (fluid steady intervals) charges the PCIe link
+        and the memory system per burst — ``nbytes`` is the total — so
+        the DDIO absorb nonlinearity and per-burst rounding match the
+        exact path's burst-by-burst execution.
+        """
         self._check_alive("dma_write")
-        pcie_delay = self.link.upstream.account(nbytes)
+        per_burst, remainder = divmod(nbytes, nbursts)
+        if nbursts == 1 or remainder:
+            pcie_delay = self.link.upstream.account(nbytes)
+        else:
+            pcie_delay = self.link.upstream.account_batch(per_burst, nbursts)
         mem_delay = self._memory.dma_write(self.attach_node, region,
-                                           nbytes, engine=self)
+                                           nbytes, engine=self,
+                                           nbursts=nbursts)
         return mem_delay if mem_delay > pcie_delay else pcie_delay
 
     def dma_read(self, region, nbytes: int) -> int:

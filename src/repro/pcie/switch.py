@@ -37,8 +37,9 @@ class SwitchedFunction(PhysicalFunction):
         self.hop_ns = int(hop_ns)
         self.reattach_count = 0
 
-    def dma_write(self, region, nbytes: int) -> int:
-        return self.hop_ns + super().dma_write(region, nbytes)
+    def dma_write(self, region, nbytes: int, nbursts: int = 1) -> int:
+        return self.hop_ns + super().dma_write(region, nbytes,
+                                               nbursts=nbursts)
 
     def dma_read(self, region, nbytes: int) -> int:
         return self.hop_ns + super().dma_read(region, nbytes)

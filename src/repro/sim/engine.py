@@ -52,7 +52,13 @@ _PENDING = object()
 #: * ``"adaptive"`` — steady-state packet-train coalescing in the
 #:   workloads plus early termination in the experiment runners; metrics
 #:   stay within ~1% of exact while processing far fewer events.
-ACCURACY_MODES = ("exact", "adaptive")
+#: * ``"fluid"``    — flow-level fluid modeling: while a flow's steady
+#:   token (plus the environment-wide :attr:`Environment.rate_epoch`) is
+#:   unchanged, whole steady intervals are advanced analytically with
+#:   per-burst byte/packet/interrupt/doorbell counts derived in closed
+#:   form; execution de-coalesces back to event granularity at every
+#:   rate-change boundary.  Metrics stay within ~2% of exact.
+ACCURACY_MODES = ("exact", "adaptive", "fluid")
 
 
 def default_accuracy() -> str:
@@ -323,6 +329,23 @@ class Environment:
         self._pool: List[Event] = []
         #: Total events dispatched; the perf harness divides by wall time.
         self.events_processed = 0
+        #: Bumped by every BandwidthServer.set_rate (fault throttles, link
+        #: retraining).  The fluid tier folds this into its steady tokens
+        #: so any rate change invalidates every in-flight steady interval.
+        self.rate_epoch = 0
+        #: Wall span (ns) of the steady interval currently being charged,
+        #: or 0 outside one.  Set by FluidRegion.interval(); bandwidth
+        #: servers and rate estimators treat charges landing while it is
+        #: nonzero as spread uniformly over the span instead of stacked
+        #: at the current instant — the closed-form rate-share view that
+        #: keeps one flow's coalesced interval from presenting phantom
+        #: backlog or utilisation spikes to concurrent flows.
+        self.fluid_span_ns = 0
+        #: Identity of the flow charging the current steady interval
+        #: (rate estimators key reservations by it, so a flow's next
+        #: interval replaces its previous reservation instead of
+        #: stacking with a stale tail of it).
+        self.fluid_flow_id = 0
 
     @property
     def now(self) -> int:
@@ -331,8 +354,14 @@ class Environment:
 
     @property
     def adaptive(self) -> bool:
-        """True when the bounded-error fast paths may engage."""
-        return self.accuracy == "adaptive"
+        """True when the bounded-error fast paths may engage (any
+        non-exact tier: train coalescing, early termination)."""
+        return self.accuracy != "exact"
+
+    @property
+    def fluid(self) -> bool:
+        """True for the fluid tier: closed-form steady-interval service."""
+        return self.accuracy == "fluid"
 
     @property
     def active_process(self) -> Optional[Process]:

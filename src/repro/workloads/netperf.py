@@ -15,7 +15,7 @@ from repro.nic.packet import Flow, packets_for
 from repro.os_model.netstack import MSS
 from repro.units import KB
 from repro.workloads.base import Workload, measured_meter
-from repro.workloads.train import MAX_TRAIN_BYTES, TrainGovernor
+from repro.workloads.train import make_governor
 
 #: Default burst sizing: batch messages up to this many bytes per loop.
 BURST_BYTES = 64 * KB
@@ -40,9 +40,9 @@ class TcpStream(Workload):
         self.driver = driver or host.driver
         self.meter = measured_meter(self)
         self.batch = max(1, BURST_BYTES // message_bytes)
-        #: Packet-train coalescing state (drives the adaptive fast path;
-        #: idle in exact mode).  Tests read its counters.
-        self.governor = TrainGovernor()
+        #: Packet-train coalescing state (drives the adaptive/fluid fast
+        #: paths; idle in exact mode).  Tests read its counters.
+        self.governor = make_governor(host.machine.env)
         self.thread = self._spawn(f"netperf-{direction}", self._body, core)
 
     def _body(self, thread):
@@ -72,20 +72,22 @@ class TcpStream(Workload):
         stack = self.host.stack
         burst_bytes = self.batch * self.message_bytes
         burst_packets = self.batch * packets_for(self.message_bytes, MSS)
-        byte_cap = max(1, MAX_TRAIN_BYTES // burst_bytes)
+        byte_cap = max(1, governor.max_train_bytes // burst_bytes)
         while not self.done():
             token = stack.steady_token(sock)
             rxq = sock.driver.rx_queue_for_core(thread.core)
             queue = rxq if self.direction == "rx" else sock.tx_queue
-            cap = min(governor.max_bursts, byte_cap,
-                      max(1, queue.descriptors_until_wrap()
-                          // burst_packets))
+            cap = min(governor.max_bursts, byte_cap)
+            if not governor.cross_ring_wraps:
+                cap = min(cap, max(1, queue.descriptors_until_wrap()
+                                   // burst_packets))
             cap = governor.clip_to_boundaries(cap, self.env.now,
                                               self.warmup_ns,
                                               self.duration_ns)
             k = governor.plan(token, cap)
-            cpu, dev = burst(sock, self.batch, self.message_bytes,
-                             ntrains=k)
+            with governor.interval(k):
+                cpu, dev = burst(sock, self.batch, self.message_bytes,
+                                 ntrains=k)
             wall = max(cpu, dev)
             if self.in_measurement():
                 # Progressive start/finish: bytes are recorded at train

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.nic.packet import Flow
 from repro.workloads.base import Workload, measured_meter
-from repro.workloads.train import MAX_TRAIN_BYTES, TrainGovernor
+from repro.workloads.train import make_governor
 
 #: pktgen posts descriptors in bursts of this many packets.
 BURST_PKTS = 64
@@ -31,9 +31,9 @@ class Pktgen(Workload):
         self.driver = driver or host.driver
         self.meter = measured_meter(self)
         self._ring_home_node = ring_home_node
-        #: Packet-train coalescing state (drives the adaptive fast path;
-        #: idle in exact mode).  Tests read its counters.
-        self.governor = TrainGovernor()
+        #: Packet-train coalescing state (drives the adaptive/fluid fast
+        #: paths; idle in exact mode).  Tests read its counters.
+        self.governor = make_governor(host.machine.env)
         self.thread = self._spawn("pktgen", self._body, core)
 
     def _body(self, thread):
@@ -84,22 +84,28 @@ class Pktgen(Workload):
         """
         governor = self.governor
         wire = device.wire
-        byte_cap = max(1, MAX_TRAIN_BYTES // (BURST_PKTS * self.packet_bytes))
+        byte_cap = max(1, governor.max_train_bytes
+                       // (BURST_PKTS * self.packet_bytes))
         while not self.done():
             token = (thread.core, txq, txq.pf, txq.pf.alive,
                      device.firmware.steering_epoch(),
                      wire.is_impaired if wire is not None else False)
-            cap = min(governor.max_bursts, byte_cap,
-                      max(1, txq.descriptors_until_wrap() // BURST_PKTS))
+            cap = min(governor.max_bursts, byte_cap)
+            if not governor.cross_ring_wraps:
+                cap = min(cap, max(1, txq.descriptors_until_wrap()
+                                   // BURST_PKTS))
             cap = governor.clip_to_boundaries(cap, self.env.now,
                                               self.warmup_ns,
                                               self.duration_ns)
             k = governor.plan(token, cap)
             pkts = k * BURST_PKTS
-            cpu = pkts * costs.pktgen_pkt_ns
-            cpu += k * txq.pf.mmio_latency(node)
-            dev = device.tx(txq, packet, pkts, self.packet_bytes, ndesc=pkts)
-            cpu += pkts * machine.memory.read_fresh_dma_line(node, txq.ring)
+            with governor.interval(k):
+                cpu = pkts * costs.pktgen_pkt_ns
+                cpu += k * txq.pf.mmio_latency(node)
+                dev = device.tx(txq, packet, pkts, self.packet_bytes,
+                                ndesc=pkts, nbursts=k)
+                cpu += pkts * machine.memory.read_fresh_dma_line(
+                    node, txq.ring)
             wall = max(cpu, dev)
             if self.in_measurement():
                 # Progressive start/finish: the train's bytes are

@@ -22,11 +22,28 @@ failover, impairment episode, moderation budget shift, etc.) resets the
 train length to one burst, and per-train caps keep a single train from
 crossing a queue wrap, overrunning the DDIO slice, or spanning a
 measurement boundary.
+
+``fluid`` accuracy extends trains to whole *steady intervals* via
+:class:`FluidGovernor`: once settled, the train length jumps straight to
+the cap (no geometric ramp), the per-train byte budget is lifted (the
+memory layer charges DDIO absorption per burst in closed form, so a
+giant interval cannot spill where exact would not — see
+``MemorySystem.dma_write(nbursts=)``), intervals may span ring wraps
+(the exact model attaches no cost to a wrap; doorbells, completions and
+interrupts stay per-burst), and the wall cap scales with the measurement
+window instead of a fixed 250 us.  The steady token is additionally
+extended with the environment-wide rate epoch through the
+:class:`~repro.sim.fluid.FluidRegion` coordinator, so *any*
+``BandwidthServer.set_rate`` (fault throttle, link retraining) ends
+every in-flight steady interval at its next planning point.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Optional
+
+from repro.sim.fluid import FluidRegion, fluid_region
 
 #: Hard cap on bursts per train (grows geometrically 2, 4, ... up to this).
 MAX_TRAIN_BURSTS = 32
@@ -42,6 +59,24 @@ MAX_TRAIN_BYTES = 2 * 1024 * 1024
 SETTLE_OBSERVATIONS = 2
 #: Relative tolerance for "the per-burst wall time is stable".
 STABLE_REL_TOL = 0.02
+
+#: Fluid tier: hard safety cap on bursts per steady interval (the real
+#: bind is the window-scaled wall cap from FluidRegion.wall_cap_ns).
+FLUID_MAX_TRAIN_BURSTS = 4096
+#: Fluid tier: only flows whose per-burst wall time is below this are
+#: coalesced into steady intervals.  A burst within a few RateEstimator
+#: sampling buckets (20 us each) blends into the rolling utilization
+#: estimate much like its average rate would, so replacing a run of
+#: such bursts with a closed-form steady interval is faithful — while
+#: coalescing much coarser bursts (e.g. a 300 us memcached
+#: transaction) erases burst-phase contention the exact schedule
+#: really exhibits, for little event savings (the events are already
+#: coarse, so per-event overhead is not what limits those runs).
+FLUID_COALESCE_WALL_NS = 100_000
+#: Fluid tier: per-interval byte budget.  Far above the DDIO slice on
+#: purpose — the batched memory path preserves per-burst absorption, so
+#: the 2 MB adaptive cap is unnecessary; this only bounds integer sizes.
+FLUID_MAX_TRAIN_BYTES = 256 * 1024 * 1024
 
 
 class TrainGovernor:
@@ -67,6 +102,10 @@ class TrainGovernor:
         self.max_bursts = max_bursts
         self.settle = settle
         self.rel_tol = rel_tol
+        #: Per-train byte budget the workload divides by its burst size.
+        self.max_train_bytes = MAX_TRAIN_BYTES
+        #: Whether a train may span descriptor-ring wraps.
+        self.cross_ring_wraps = False
         self._token = None
         self._streak = 0
         self._next_k = 1
@@ -125,14 +164,28 @@ class TrainGovernor:
             return
         self._streak += 1
         if self._streak >= self.settle:
-            self._next_k = min(self._next_k * 2, self.max_bursts)
+            self._next_k = self._grown_k()
+
+    def _grown_k(self) -> int:
+        """Next train length once steady: geometric ramp (adaptive)."""
+        return min(self._next_k * 2, self.max_bursts)
+
+    def interval(self, k: int):
+        """Context manager wrapping the charges of a k-burst train.
+
+        The adaptive tier charges trains at an instant (they are capped
+        at 250 us of wall time, small enough that the transient is in
+        the noise), so this is a no-op; :class:`FluidGovernor` overrides
+        it to publish the interval's span to the environment."""
+        return nullcontext()
 
     # ------------------------------------------------------------ helpers
 
     def clip_to_boundaries(self, cap: int, now_ns: int, warmup_ns: int,
                            duration_ns: int) -> int:
         """Tighten ``cap`` so the projected train does not cross the
-        warmup or duration boundary, nor :data:`MAX_TRAIN_WALL_NS`.
+        warmup or duration boundary, nor the governor's wall cap
+        (:data:`MAX_TRAIN_WALL_NS`, or window-scaled for fluid).
 
         Uses the learned per-burst wall estimate; before any observation
         the train is one burst anyway, so no clipping is needed.
@@ -140,9 +193,92 @@ class TrainGovernor:
         estimate = self._per_burst_wall
         if not estimate or estimate <= 0:
             return cap
-        cap = min(cap, max(1, int(MAX_TRAIN_WALL_NS / estimate)))
+        wall_cap = self._wall_cap_ns(warmup_ns, duration_ns)
+        cap = min(cap, max(1, int(wall_cap / estimate)))
         for boundary in (warmup_ns, duration_ns):
             if now_ns < boundary:
                 cap = min(cap, max(1, int((boundary - now_ns) / estimate)))
                 break
         return cap
+
+    def _wall_cap_ns(self, warmup_ns: int, duration_ns: int) -> int:
+        """Longest wall time one train may cover."""
+        return MAX_TRAIN_WALL_NS
+
+
+class FluidGovernor(TrainGovernor):
+    """Steady-interval planner for ``fluid`` accuracy.
+
+    Same protocol as :class:`TrainGovernor`, with four policy changes:
+
+    * the steady token is extended with the environment-wide rate epoch
+      (via :class:`~repro.sim.fluid.FluidRegion`), so any
+      ``BandwidthServer.set_rate`` de-coalesces every fluid flow;
+    * once the per-burst wall has settled, the interval length jumps
+      straight to the cap instead of ramping geometrically;
+    * intervals may span ring wraps and carry up to
+      :data:`FLUID_MAX_TRAIN_BYTES` (per-burst DDIO/PCIe charging in the
+      model layer keeps giant intervals faithful);
+    * the wall cap is ``1/8`` of the measurement window, bounded by an
+      absolute ceiling (:meth:`FluidRegion.wall_cap_ns`), instead of a
+      fixed 250 us, so convergence sampling and fault-observation lag
+      stay bounded relative to the run.
+    """
+
+    def __init__(self, region: FluidRegion,
+                 max_bursts: int = FLUID_MAX_TRAIN_BURSTS,
+                 settle: int = SETTLE_OBSERVATIONS,
+                 rel_tol: float = STABLE_REL_TOL):
+        super().__init__(max_bursts=max_bursts, settle=settle,
+                         rel_tol=rel_tol)
+        self.region = region
+        self.max_train_bytes = FLUID_MAX_TRAIN_BYTES
+        self.cross_ring_wraps = True
+        region.register()
+
+    def plan(self, token, cap: Optional[int] = None) -> int:
+        before = self.decoalesce_events
+        k = super().plan(self.region.token(token), cap)
+        if self.decoalesce_events > before:
+            self.region.invalidated()
+        if k > 1:
+            self.region.grant(k)
+        return k
+
+    def _grown_k(self) -> int:
+        """Closed-form service needs no ramp: jump straight to the cap
+        (plan() still clips per iteration) — but only for fine-grained
+        flows (see :data:`FLUID_COALESCE_WALL_NS`)."""
+        if (self._per_burst_wall is not None
+                and self._per_burst_wall > FLUID_COALESCE_WALL_NS):
+            return 1
+        return self.max_bursts
+
+    def interval(self, k: int):
+        """Publish the steady interval's projected wall span while its
+        charges land, so rate estimators register the interval's bytes
+        as an average-rate reservation over the span instead of a
+        lump-sum bucket deposit — without this, a coalesced interval
+        shows *concurrent* flows a utilisation spike that exact
+        execution never exhibits.  (Queue backlog is *not* spread: see
+        :meth:`FluidRegion.interval`.)
+
+        Singles keep exact charging: a k=1 burst lands within one
+        estimator bucket anyway, so spreading it would only perturb the
+        phase statistics it already matches."""
+        estimate = self._per_burst_wall
+        if k <= 1 or not estimate:
+            return nullcontext()
+        return self.region.interval(int(k * estimate), flow_id=id(self))
+
+    def _wall_cap_ns(self, warmup_ns: int, duration_ns: int) -> int:
+        return self.region.wall_cap_ns(warmup_ns, duration_ns)
+
+
+def make_governor(env) -> TrainGovernor:
+    """The per-flow governor matching the environment's accuracy mode
+    (exact mode constructs one too, but never plans k > 1 because the
+    workloads only consult it when ``env.adaptive``)."""
+    if getattr(env, "fluid", False):
+        return FluidGovernor(fluid_region(env))
+    return TrainGovernor()

@@ -32,6 +32,25 @@ def _clean():
     sweep.shutdown_pool()
 
 
+def test_would_parallelize_predicate(monkeypatch):
+    monkeypatch.setattr(sweep.os, "cpu_count", lambda: 8)
+    assert sweep.would_parallelize(sweep.MIN_PARALLEL_POINTS, jobs=4)
+    # Too few points, jobs=1, or a single-CPU host all fall back.
+    assert not sweep.would_parallelize(sweep.MIN_PARALLEL_POINTS - 1,
+                                       jobs=4)
+    assert not sweep.would_parallelize(100, jobs=1)
+    monkeypatch.setattr(sweep.os, "cpu_count", lambda: 1)
+    assert not sweep.would_parallelize(100, jobs=4)
+
+
+def test_would_parallelize_defaults_to_configured_jobs(monkeypatch):
+    monkeypatch.setattr(sweep.os, "cpu_count", lambda: 8)
+    monkeypatch.setattr(sweep, "_jobs", 4)
+    assert sweep.would_parallelize(10)
+    monkeypatch.setattr(sweep, "_jobs", 1)
+    assert not sweep.would_parallelize(10)
+
+
 def test_results_in_submission_order():
     points = [dict(x=x) for x in (5, 1, 9, 3)]
     assert sweep_map(point_fn, points) == [point_fn(x=x)

@@ -1,0 +1,84 @@
+"""Unit tests for the fluid steady-interval coordinator."""
+
+from repro.sim import Environment
+from repro.sim.fluid import (
+    MAX_INTERVAL_WALL_NS,
+    WALL_SLICES,
+    FluidRegion,
+    fluid_region,
+)
+
+
+def test_region_cached_per_environment():
+    env = Environment()
+    region = fluid_region(env)
+    assert fluid_region(env) is region
+    assert fluid_region(Environment()) is not region
+
+
+def test_token_folds_rate_epoch():
+    env = Environment()
+    region = FluidRegion(env)
+    flow_token = ("core0", "pf0", 3)
+    before = region.token(flow_token)
+    env.rate_epoch += 1  # what BandwidthServer.set_rate does
+    after = region.token(flow_token)
+    assert before != after
+    assert before[0] == after[0] == flow_token
+
+
+def test_wall_cap_is_window_fraction():
+    env = Environment()
+    region = FluidRegion(env)
+    window = WALL_SLICES * 1000
+    assert region.wall_cap_ns(0, window) == 1000
+    assert region.wall_cap_ns(window // 2, window) == 500
+    # Degenerate windows still allow a 1 ns interval.
+    assert region.wall_cap_ns(100, 100) == 1
+
+
+def test_wall_cap_absolute_ceiling():
+    """A huge nominal duration (fig13's sentinel I/O streams) must not
+    unlock intervals that outrun the run's real horizon."""
+    env = Environment()
+    region = FluidRegion(env)
+    assert region.wall_cap_ns(0, 4_000_000_000) == MAX_INTERVAL_WALL_NS
+
+
+def test_interval_sets_and_restores_span():
+    env = Environment()
+    region = FluidRegion(env)
+    assert env.fluid_span_ns == 0
+    with region.interval(5000, flow_id=7):
+        assert env.fluid_span_ns == 5000
+        assert env.fluid_flow_id == 7
+        with region.interval(100, flow_id=8):  # innermost span wins
+            assert env.fluid_span_ns == 100
+            assert env.fluid_flow_id == 8
+        assert env.fluid_span_ns == 5000
+        assert env.fluid_flow_id == 7
+    assert env.fluid_span_ns == 0
+    assert env.fluid_flow_id == 0
+
+
+def test_interval_restores_span_on_exception():
+    env = Environment()
+    region = FluidRegion(env)
+    try:
+        with region.interval(5000):
+            raise RuntimeError("charge failed")
+    except RuntimeError:
+        pass
+    assert env.fluid_span_ns == 0
+
+
+def test_counters():
+    region = FluidRegion(Environment())
+    region.register()
+    region.grant(32)
+    region.grant(16)
+    region.invalidated()
+    assert region.flows == 1
+    assert region.steady_intervals == 2
+    assert region.bursts_advanced == 48
+    assert region.invalidations == 1

@@ -259,6 +259,152 @@ def test_bandwidth_rejects_bad_args():
         link.service_time(-1)
 
 
+def test_bandwidth_set_rate_rescales_backlog():
+    env = Environment()
+    link = BandwidthServer(env, bytes_per_sec=1e9)
+    link.account(8000)                      # 8000 ns of backlog at 1 B/ns
+    link.set_rate(2e9)                      # the queue now drains 2x as fast
+    assert link.queueing_delay() == 4000
+    assert link.account(2000) == 4000 + 1000
+
+
+def test_bandwidth_set_rate_bumps_rate_epoch():
+    env = Environment()
+    link = BandwidthServer(env, bytes_per_sec=1e9)
+    before = env.rate_epoch
+    link.set_rate(5e8)
+    assert env.rate_epoch == before + 1
+    with pytest.raises(ValueError):
+        link.set_rate(0)
+
+
+def test_bandwidth_set_rate_with_empty_queue():
+    env = Environment()
+    link = BandwidthServer(env, bytes_per_sec=1e9)
+    link.set_rate(2e9)
+    assert link.queueing_delay() == 0
+    assert link.account(2000) == 1000
+
+
+def test_account_batch_bit_identical_to_sequential_accounts():
+    env = Environment()
+    a = BandwidthServer(env, bytes_per_sec=39.0625e9 / 3)  # awkward rate
+    b = BandwidthServer(env, bytes_per_sec=39.0625e9 / 3)
+    last = 0
+    for _ in range(17):
+        last = a.account(1499)
+    assert b.account_batch(1499, 17) == last
+    assert b.queueing_delay() == a.queueing_delay()
+    assert b.bytes_total == a.bytes_total
+    assert b.busy_ns == a.busy_ns
+
+
+def test_account_many_bit_identical_to_sequential_accounts():
+    env = Environment()
+    a = BandwidthServer(env, bytes_per_sec=2.5e9)
+    b = BandwidthServer(env, bytes_per_sec=2.5e9)
+    sizes = [64, 1500, 0, 4096, 65536, 333, 64, 9000, 1, 127]
+    last = 0
+    for n in sizes:
+        last = a.account(n)
+    assert b.account_many(sizes) == last
+    assert b.queueing_delay() == a.queueing_delay()
+    assert b.bytes_total == a.bytes_total
+    assert b.busy_ns == a.busy_ns
+
+
+def test_account_batch_rejects_bad_args():
+    env = Environment()
+    link = BandwidthServer(env, bytes_per_sec=1e9)
+    with pytest.raises(ValueError):
+        link.account_batch(100, 0)
+    with pytest.raises(ValueError):
+        link.account_batch(-1, 4)
+
+
+def test_spanned_charge_keeps_full_queue_backlog():
+    """Steady-interval charges are real aggregate service: flows sharing
+    the server must still queue behind them (fig13's colocated PageRank
+    crossing the same interconnect as a coalesced netperf train)."""
+    env = Environment()
+    from repro.sim.fluid import FluidRegion
+    link = BandwidthServer(env, bytes_per_sec=1e9)
+    region = FluidRegion(env)
+    with region.interval(1_000_000, flow_id=1):
+        link.account_batch(1000, 100)       # 100 us of service
+    assert link.queueing_delay() == 100_000
+
+
+# ----------------------------------------------------- RateEstimator
+
+def _estimator():
+    from repro.sim.resources import RateEstimator
+    env = Environment()
+    return env, RateEstimator(env, bytes_per_sec=1e9)
+
+
+def test_estimator_bucket_blend_outside_fluid_span():
+    env, est = _estimator()
+    est.update(10_000)
+    env._now = est.bucket_ns // 2
+    # Half a bucket at 10 KB over 10 us = 1.0 capped, weighted by 0.5.
+    assert est.utilization() == pytest.approx(0.5)
+
+
+def test_estimator_update_utilization_matches_pair():
+    env, est1 = _estimator()
+    from repro.sim.resources import RateEstimator
+    est2 = RateEstimator(env, bytes_per_sec=1e9)
+    for now in (0, 7_000, 21_000, 40_000, 40_001, 95_000):
+        env._now = now
+        est1.update(3000)
+        want = est1.utilization()
+        assert est2.update_utilization(3000) == want
+
+
+def test_estimator_spanned_update_registers_reservation():
+    env, est = _estimator()
+    region_span = 1_000_000
+    env.fluid_span_ns = region_span
+    env.fluid_flow_id = 42
+    est.update(500_000)                     # 0.5 GB/s over the span
+    env.fluid_span_ns = 0
+    env.fluid_flow_id = 0
+    # Another flow's read sees the interval's average rate, not a
+    # lump-sum bucket spike.
+    assert est.utilization() == pytest.approx(0.5)
+    # Same-block charges accumulate into the slot.
+    env.fluid_span_ns = region_span
+    env.fluid_flow_id = 42
+    est.update(250_000)
+    env.fluid_span_ns = 0
+    assert est.utilization() == pytest.approx(0.75)
+
+
+def test_estimator_reservation_excluded_for_own_flow_in_span():
+    env, est = _estimator()
+    env.fluid_span_ns = 1_000_000
+    env.fluid_flow_id = 42
+    est.update(500_000)
+    # Still inside its own interval block: the flow's fresh reservation
+    # is masked (exact reads the load factor before depositing its own
+    # bytes), so it sees no self-inflation from this block.
+    assert est.utilization() == pytest.approx(0.0)
+    env.fluid_span_ns = 0
+    env.fluid_flow_id = 0
+
+
+def test_estimator_reservation_expires():
+    env, est = _estimator()
+    env.fluid_span_ns = 1_000_000
+    env.fluid_flow_id = 42
+    est.update(500_000)
+    env.fluid_span_ns = 0
+    env._now = 2_000_000                    # past the reservation's end
+    assert est.utilization() == pytest.approx(0.0)
+    assert est._pending == {}               # expired slot dropped
+
+
 # -------------------------------------------- ProcessorSharingServer
 
 def test_ps_server_single_flow_full_rate():
