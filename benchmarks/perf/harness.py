@@ -14,11 +14,13 @@ Two layers of measurement:
 :func:`run_bench` produces a JSON-serialisable report; ``tools/bench.py``
 writes it as ``BENCH_<date>.json`` and :func:`check_regression` gates a
 report against a committed baseline, failing on a >20% drop in events/sec
-or growth in serial figure wall-clock.  Two absolute gates ride along:
-the fluid accuracy tier must advance the fig08 pktgen quick point at
-least :data:`FLUID_SPEEDUP_FLOOR` times faster than exact (simulated
-packets per wall-second), and no figure sweep's parallel leg may lose to
-serial (:data:`FIGURE_SPEEDUP_FLOOR`).
+or growth in serial figure wall-clock.  Absolute gates ride along: the
+fluid accuracy tier must advance the fig08 pktgen quick point at least
+:data:`FLUID_SPEEDUP_FLOOR` times faster than exact (simulated packets
+per wall-second), no figure sweep's parallel leg may lose to serial
+(:data:`FIGURE_SPEEDUP_FLOOR`), and the fleet bench must keep the
+process-sharded fingerprint identical to the inline run while scaling
+at :data:`FLEET_EFFICIENCY_FLOOR` efficiency on multi-CPU hosts.
 """
 
 from __future__ import annotations
@@ -73,6 +75,19 @@ ADAPTIVE_PAIR_DURATION_NS = 10_000_000
 #: Ceiling on the events/sec cost of carrying a *disabled* ObsSession —
 #: the "observability is free unless you ask for it" contract.
 OBS_OVERHEAD_CEILING = 0.02
+
+#: Floor on the fleet executor's parallel scaling efficiency
+#: (speedup / workers) when the host can genuinely run worker processes
+#: side by side.  Single-CPU hosts time-share the same core, so they
+#: mark ``serial_fallback`` and report 1.0 (the fingerprint cross-check
+#: still runs — it is machine-independent).
+FLEET_EFFICIENCY_FLOOR = 0.7
+
+#: The fleet bench point: a full rack at quick scale — big enough that
+#: one server is real work, small enough to keep the harness fast.
+FLEET_BENCH_SERVERS = 8
+FLEET_BENCH_CONNECTIONS = 32768
+FLEET_BENCH_DURATION_NS = 4_000_000
 
 
 def _engine_workload(kind: str, testbed: Testbed, duration_ns: int):
@@ -328,6 +343,72 @@ def _disabled_leg_obs_work(kind: str, config: str,
     }
 
 
+def bench_fleet(servers: int = FLEET_BENCH_SERVERS,
+                connections: int = FLEET_BENCH_CONNECTIONS,
+                jobs: int = 4, repeats: int = 2) -> Dict:
+    """Inline vs process-sharded fleet run on one seeded rack point.
+
+    Two gates feed :func:`check_regression`:
+
+    * ``fingerprint_match`` — machine-independent, always enforced: the
+      merged fleet fingerprint must be bit-identical between the inline
+      run and the worker-process fan-out (the fleet's headline
+      determinism claim).
+    * ``efficiency`` — speedup divided by the workers that could
+      actually run concurrently, gated against
+      :data:`FLEET_EFFICIENCY_FLOOR` only on hosts with more than one
+      CPU; a single-CPU host fans out but time-shares one core, so it
+      reports 1.0 with a ``serial_fallback`` marker instead of noise.
+
+    The sweep cache is disabled for the timing legs — a cache hit would
+    measure JSON loading, not the simulator.
+    """
+    from repro.cluster import FleetSpec, run_fleet
+
+    spec = FleetSpec(servers=servers, connections=connections,
+                     duration_ns=FLEET_BENCH_DURATION_NS, epochs=4)
+    workers = max(2, min(jobs, servers))
+    previous_cache = sweep._cache_dir
+    sweep.configure(cache_dir="")
+    try:
+        serial = parallel = float("inf")
+        serial_fp = parallel_fp = ""
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = run_fleet(spec, master_seed=0, accuracy="fluid",
+                               jobs=1)
+            serial = min(serial, time.perf_counter() - start)
+            serial_fp = result.fingerprint()
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = run_fleet(spec, master_seed=0, accuracy="fluid",
+                               jobs=workers)
+            parallel = min(parallel, time.perf_counter() - start)
+            parallel_fp = result.fingerprint()
+        sweep.shutdown_pool()
+    finally:
+        sweep.configure(cache_dir=previous_cache or "")
+    cell = {
+        "servers": servers,
+        "connections": connections,
+        "jobs": workers,
+        "serial_s": round(serial, 4),
+        "parallel_s": round(parallel, 4),
+        "fingerprint": serial_fp[:16],
+        "fingerprint_match": serial_fp == parallel_fp,
+    }
+    cpus = os.cpu_count() or 1
+    if cpus >= 2:
+        speedup = serial / parallel if parallel else 0.0
+        cell["speedup"] = round(speedup, 2)
+        cell["efficiency"] = round(speedup / min(workers, cpus), 3)
+    else:
+        cell["speedup"] = 1.0
+        cell["efficiency"] = 1.0
+        cell["serial_fallback"] = True
+    return cell
+
+
 def bench_figure(name: str, fidelity: str, jobs: int,
                  repeats: int = 3) -> float:
     """Wall-clock seconds of one full figure sweep at ``jobs`` workers.
@@ -383,6 +464,7 @@ def run_bench(fidelity: str = "quick", jobs: int = 4) -> Dict:
     adaptive = bench_adaptive_pair()
     accuracy = bench_accuracy_triple()
     obs = bench_obs_pair()
+    fleet = bench_fleet(jobs=jobs)
     figures = {name: _figure_bench(name, fidelity, jobs)
                for name in FIGURES}
     sweep.shutdown_pool()
@@ -398,6 +480,7 @@ def run_bench(fidelity: str = "quick", jobs: int = 4) -> Dict:
         "adaptive": adaptive,
         "accuracy": accuracy,
         "obs": obs,
+        "fleet": fleet,
         "figures": figures,
     }
 
@@ -474,6 +557,33 @@ def check_regression(current: Dict, baseline: Dict,
                 f"{overhead:.2%} > {OBS_OVERHEAD_CEILING:.0%} ceiling "
                 f"({obs['disabled']['events_per_sec']} vs "
                 f"{obs['off']['events_per_sec']} ev/s)")
+    # Fleet gates.  The fingerprint cross-check and the efficiency floor
+    # read only the current report (machine-independent / host-gated);
+    # the serial wall regresses against the baseline like the figures.
+    fleet = current.get("fleet")
+    if fleet is not None:
+        if not fleet.get("fingerprint_match", True):
+            failures.append(
+                "fleet: merged fingerprint differs between the inline "
+                "run and the process-sharded run (determinism broken)")
+        if (not fleet.get("serial_fallback")
+                and fleet.get("efficiency", 1.0) < FLEET_EFFICIENCY_FLOOR):
+            failures.append(
+                f"fleet: parallel scaling efficiency "
+                f"{fleet['efficiency']} < {FLEET_EFFICIENCY_FLOOR} floor "
+                f"(serial {fleet['serial_s']}s, parallel "
+                f"{fleet['parallel_s']}s at jobs={fleet['jobs']})")
+    base_fleet = baseline.get("fleet")
+    if base_fleet is not None:
+        if fleet is None:
+            failures.append("fleet bench missing from report")
+        else:
+            ceiling = base_fleet["serial_s"] * (1.0 + threshold)
+            if fleet["serial_s"] > ceiling:
+                failures.append(
+                    f"fleet: serial {fleet['serial_s']}s > "
+                    f"{ceiling:.3f}s (baseline "
+                    f"{base_fleet['serial_s']}s + {threshold:.0%})")
     for name, base in baseline.get("figures", {}).items():
         now = current.get("figures", {}).get(name)
         if now is None:
@@ -532,6 +642,18 @@ def format_report(report: Dict) -> str:
             f"{'match' if obs.get('events_match') else 'DIFFER'})  "
             f"enabled {obs['enabled_overhead']:+.2%}  "
             f"(off {obs['off']['events_per_sec']} ev/s)")
+    fleet = report.get("fleet")
+    if fleet:
+        marker = ("  (serial fallback)" if fleet.get("serial_fallback")
+                  else "")
+        lines.append(
+            f"  fleet  {fleet['servers']}srv/"
+            f"{fleet['connections']}conn     "
+            f"serial {fleet['serial_s']:.3f}s  jobs={fleet['jobs']} "
+            f"{fleet['parallel_s']:.3f}s  efficiency "
+            f"{fleet['efficiency']:.2f}  fingerprint "
+            f"{'match' if fleet['fingerprint_match'] else 'DIFFERS'}"
+            f"{marker}")
     for name, fig in report["figures"].items():
         marker = "  (serial fallback)" if fig.get("serial_fallback") else ""
         lines.append(f"  figure {name:18s} serial {fig['serial_s']:.3f}s  "

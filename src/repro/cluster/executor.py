@@ -1,0 +1,52 @@
+"""The process-sharded fleet executor.
+
+One server = one sweep point = one worker process.  The executor reuses
+the figure sweeps' persistent :mod:`repro.experiments.sweep` machinery —
+the long-lived ``ProcessPoolExecutor``, the dotted-path invocation, the
+on-disk code+params cache — but swaps in its own fan-out predicate: a
+fleet point is a *whole server simulation* (testbed build, a hundred
+thousand regenerated client connections, the full event run), heavy
+enough that process fan-out pays off whenever more than one worker is
+asked for, including on hosts where the lightweight figure points would
+take the serial fallback.
+
+No runtime coordination happens between workers: the LB assignment
+timeline, health reactions and arrival schedules are all planned
+deterministically from (spec, master_seed), with cross-server coupling
+quantized to epoch boundaries (see :mod:`repro.cluster.lb`).  That is
+why the merged result — and its fingerprint — is identical for any
+``jobs`` value.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.cluster.merge import FleetResult
+from repro.cluster.server import run_fleet_server
+from repro.cluster.spec import FleetSpec
+from repro.experiments.sweep import sweep_map
+
+
+def fleet_parallel_when(npoints: int, jobs: int) -> bool:
+    """Fan out whenever there is anything to share: fleet points are
+    heavyweight, so the MIN_PARALLEL_POINTS / cpu-count guards of the
+    figure sweeps would only serialize real work (and hide cross-process
+    determinism bugs on single-CPU dev hosts)."""
+    return jobs > 1 and npoints > 1
+
+
+def run_fleet(spec: Union[FleetSpec, dict], master_seed: int = 0,
+              accuracy: Optional[str] = None,
+              jobs: Optional[int] = None,
+              cache_dir: Optional[str] = None) -> FleetResult:
+    """Simulate the whole fleet and merge the per-server shards."""
+    if isinstance(spec, dict):
+        spec = FleetSpec.from_dict(spec)
+    points = [dict(server_id=server, spec=spec.to_dict(),
+                   master_seed=master_seed, accuracy=accuracy)
+              for server in range(spec.servers)]
+    shards = sweep_map(run_fleet_server, points, jobs=jobs,
+                       cache_dir=cache_dir,
+                       parallel_when=fleet_parallel_when)
+    return FleetResult(spec, master_seed, shards)

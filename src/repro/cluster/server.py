@@ -1,0 +1,159 @@
+"""One fleet server = one sweep point: plan, simulate, ship JSON back.
+
+:func:`run_fleet_server` is the module-level function the fleet executor
+fans out across worker processes (picklable by dotted path, JSON
+kwargs, JSON result — the same contract every figure point runner
+honours, so the sweep executor's disk cache works unchanged).  It
+
+1. **plans** the server's epochs from the spec + master seed alone —
+   which blocks the LB routes here each epoch (including blocks
+   inherited from servers that died in earlier epochs), each epoch's
+   arrival schedule (block aggregates x diurnal curve, plus incast
+   bursts), and the death truncation if this server fails;
+2. **simulates** a full octoNIC :class:`Testbed` serving that schedule
+   (injecting a live PF flap when the spec says this server's serving
+   PF flaps and the team driver can ride it out);
+3. **ships** per-epoch latency digests, throughput/churn/loss counters,
+   the obs registry's collected values and the utilization time series
+   as one plain-JSON dict the merge layer folds into the fleet view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.cluster.lb import blocks_for
+from repro.cluster.clients import (diurnal_factor, generate_block,
+                                   incast_schedule, server_seed)
+from repro.cluster.spec import FleetSpec
+from repro.cluster.workload import FleetServerWorkload, WorkerSegment
+from repro.core.configurations import Testbed
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.obs.session import ObsSession
+
+#: Drain slack after the arrival window, as a divisor of the duration.
+SLACK_DIVISOR = 3
+
+#: The PF that serves an "ioctopus" fleet workload (remote-node
+#: placement steered through the node-local PF, as in fig_failover).
+SERVING_PF = 1
+
+
+class ServerPlan:
+    """Everything one server's simulation consumes, planned up front."""
+
+    def __init__(self, spec: FleetSpec, server_id: int, master_seed: int):
+        self.death = spec.death_ns(server_id)
+        sizes = spec.block_sizes()
+        incasts = incast_schedule(master_seed, server_id, spec)
+        profiles: Dict[int, object] = {}
+        self.segments: List[List[WorkerSegment]] = [
+            [] for _ in range(spec.workers)]
+        self.planned = 0
+        self.conns_by_epoch: List[int] = []
+        self.churn_by_epoch: List[int] = []
+        self.slow_by_epoch: List[float] = []
+        for e, (start, end) in enumerate(spec.epoch_bounds()):
+            blocks = blocks_for(spec, server_id, e)
+            conns = 0
+            churn = 0
+            slow_w = 0.0
+            total_w = 0.0
+            for b in blocks:
+                if sizes[b] == 0:
+                    continue
+                profile = profiles.get(b)
+                if profile is None:
+                    profile = profiles[b] = generate_block(
+                        master_seed, b, sizes[b], spec)
+                conns += profile.connections
+                churn += profile.churn_by_epoch[e]
+                slow_w += profile.slow_weight
+                total_w += profile.total_weight
+            self.conns_by_epoch.append(conns)
+            self.churn_by_epoch.append(churn)
+            slow_fraction = slow_w / total_w if total_w else 0.0
+            self.slow_by_epoch.append(slow_fraction)
+            rate_tps = (conns * spec.conn_rate_tps
+                        * diurnal_factor(spec, (start + end) // 2))
+            count = int(rate_tps * (end - start) / 1e9)
+            span = end - start
+            smooth = [start + ((2 * j + 1) * span) // (2 * count)
+                      for j in range(count)]
+            bursts = incasts[e] if blocks else []
+            self.planned += count + sum(fanin for _, fanin in bursts)
+            # Deal the smooth schedule round-robin across workers and
+            # each incast burst wholly to one worker (a burst hammers
+            # one accept queue — that is what makes it an incast).
+            for w in range(spec.workers):
+                arrivals = smooth[w::spec.workers]
+                for burst_i, (t, fanin) in enumerate(bursts):
+                    if burst_i % spec.workers == w:
+                        arrivals.extend([t] * fanin)
+                arrivals.sort()
+                self.segments[w].append(WorkerSegment(
+                    e, start, end, tuple(arrivals), slow_fraction))
+
+
+def run_fleet_server(server_id: int, spec: Union[FleetSpec, Dict],
+                     master_seed: int = 0,
+                     accuracy: Optional[str] = None) -> Dict:
+    """Simulate one fleet server end to end; plain-JSON result."""
+    if isinstance(spec, dict):
+        spec = FleetSpec.from_dict(spec)
+    plan = ServerPlan(spec, server_id, master_seed)
+    testbed = Testbed(spec.config,
+                      seed=server_seed(master_seed, server_id),
+                      accuracy=accuracy)
+    host = testbed.server
+    cores = host.machine.cores_on_node(
+        testbed.server_workload_node)[:spec.workers]
+    workload = FleetServerWorkload(
+        host, cores, plan.segments, spec.set_fraction, spec.value_bytes,
+        spec.slow_factor, spec.duration_ns, dead_ns=plan.death)
+
+    flap = spec.flap_for(server_id)
+    failover_events = 0
+    if flap is not None:
+        fault_plan = FaultPlan()
+        fault_plan.add(FaultSpec("pf_down", flap[0], flap[1],
+                                 pf_id=SERVING_PF))
+        injector = FaultInjector(testbed.env, fault_plan, device=host.nic,
+                                 wire=testbed.wire, machine=host.machine,
+                                 rng=host.machine.rng)
+        injector.start()
+
+    obs = ObsSession(enabled=True)
+    obs.attach(testbed, horizon_ns=spec.duration_ns)
+
+    horizon = spec.duration_ns + spec.duration_ns // SLACK_DIVISOR
+    if plan.death is not None:
+        horizon = min(horizon, plan.death + 1)
+    testbed.run(horizon)
+    if flap is not None:
+        failover_events = len(injector.events)
+
+    served = workload.served
+    digest = workload.digest()
+    return {
+        "server": server_id,
+        "config": spec.config,
+        "died_at": plan.death,
+        "failover_events": failover_events,
+        "conns_by_epoch": plan.conns_by_epoch,
+        "churn_by_epoch": plan.churn_by_epoch,
+        "slow_by_epoch": [round(s, 6) for s in plan.slow_by_epoch],
+        "planned": plan.planned,
+        "served": served,
+        "lost": plan.planned - served,
+        "ktps": round(workload.transactions_ktps(), 3),
+        "epoch_digests": {str(e): d.to_dict()
+                          for e, d in
+                          sorted(workload.epoch_digests.items())},
+        "digest": digest.to_dict(),
+        "obs": obs.collect(include_detail=False),
+        "series": ({name: [[t, round(v, 6)] for t, v in points]
+                    for name, points in
+                    obs.sampler.counter_tracks().items()}
+                   if obs.sampler is not None else {}),
+    }

@@ -1,0 +1,199 @@
+"""The per-server fleet workload: serve a planned arrival stream.
+
+Unlike the closed-loop figure workloads (which hammer as fast as the
+host allows), a fleet server services an *open* arrival stream the
+client-fleet planner laid out deterministically: requests arrive on a
+schedule, queue while the workers are busy, and each transaction's
+latency is its completion time minus its **arrival** time — so queueing
+tails (incast bursts, diurnal peaks, slow-client holds, failover blips)
+emerge from the simulation instead of being modelled directly.
+
+Latencies land in per-epoch :class:`~repro.metrics.collect.LatencyDigest`
+shards keyed by the *arrival* epoch, which is what makes a failover blip
+attributable to the epoch the requests arrived in once the fleet merge
+combines every server's shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.collect import LatencyDigest
+from repro.nic.packet import Flow
+from repro.units import GB
+from repro.workloads.base import Workload, measured_meter
+
+#: memcached-style request framing (keys as in Fig 10; values come from
+#: the fleet spec — production-small, not the figure's 512 KB).
+KEY_BYTES = 256
+ACK_BYTES = 64
+
+#: Requests one worker dequeues per service round (epoll-style batch).
+FLEET_MAX_BATCH = 32
+#: Cap on the extra hold one slow client's transaction may add.
+SLOW_HOLD_CAP_NS = 2_000_000
+#: Sockets per worker (arrival batches rotate across them).
+SOCKETS_PER_WORKER = 4
+
+
+@dataclass(frozen=True)
+class WorkerSegment:
+    """One epoch's share of one worker's arrival schedule."""
+
+    epoch: int
+    start_ns: int
+    end_ns: int
+    #: Sorted arrival times (smooth schedule + incast bursts merged).
+    arrivals: Tuple[int, ...]
+    #: Fraction of transactions from slow-reader connections.
+    slow_fraction: float
+
+
+class FleetServerWorkload(Workload):
+    """All worker threads of one fleet server, serving planned arrivals.
+
+    ``dead_ns`` truncates the server: workers stop cold at that instant
+    (whole-server death, or a serving-PF loss with no failover path) and
+    everything still queued or yet to arrive counts as lost upstream.
+    """
+
+    def __init__(self, host, cores, segments_per_worker:
+                 List[List[WorkerSegment]], set_fraction: float,
+                 value_bytes: int, slow_factor: float, duration_ns: int,
+                 dead_ns: Optional[int] = None):
+        super().__init__(host, duration_ns)
+        if len(cores) != len(segments_per_worker):
+            raise ValueError(
+                f"{len(cores)} cores for "
+                f"{len(segments_per_worker)} worker schedules")
+        self.set_fraction = set_fraction
+        self.value_bytes = value_bytes
+        self.slow_factor = slow_factor
+        self.dead_ns = dead_ns
+        self.meter = measured_meter(self)
+        #: arrival-epoch -> merged latency shard (across this server's
+        #: workers; the fleet merge folds these across servers).
+        self.epoch_digests: Dict[int, LatencyDigest] = {}
+        self.served = 0
+        node = cores[0].node_id
+        self.heap = host.machine.alloc_region("fleet-heap", node, 1 * GB)
+        for i, (core, segments) in enumerate(
+                zip(cores, segments_per_worker)):
+            self._spawn(f"fleet-{i}", self._worker_body(i, segments), core)
+
+    def _digest(self, epoch: int) -> LatencyDigest:
+        digest = self.epoch_digests.get(epoch)
+        if digest is None:
+            digest = self.epoch_digests[epoch] = LatencyDigest()
+        return digest
+
+    def digest(self) -> LatencyDigest:
+        """Whole-run digest (all epochs merged)."""
+        whole = LatencyDigest()
+        for epoch in sorted(self.epoch_digests):
+            whole.merge(self.epoch_digests[epoch])
+        return whole
+
+    def _dead(self) -> bool:
+        return self.dead_ns is not None and self.env.now >= self.dead_ns
+
+    def _worker_body(self, worker_id: int, segments:
+                     List[WorkerSegment]):
+        def body(thread):
+            host = self.host
+            node = thread.core.node_id
+            machine = host.machine
+            costs = machine.spec.software
+            socks = [host.stack.open_socket(
+                thread, host.driver,
+                Flow.make(1000 + worker_id * SOCKETS_PER_WORKER + c),
+                app_buffer_bytes=self.value_bytes)
+                for c in range(SOCKETS_PER_WORKER)]
+            set_accum = 0.0
+            slow_accum = 0.0
+            sock_i = 0
+            #: (arrival_ns, epoch) admitted but not yet serviced —
+            #: carried across segment boundaries (backlog from one
+            #: epoch drains into the next, as on a real server).
+            pending: List[Tuple[int, int]] = []
+            for seg in segments:
+                arrivals = seg.arrivals
+                i = 0
+                while i < len(arrivals) or pending:
+                    if self._dead():
+                        return
+                    now = self.env.now
+                    while i < len(arrivals) and arrivals[i] <= now:
+                        pending.append((arrivals[i], seg.epoch))
+                        i += 1
+                    if not pending:
+                        yield thread.sleep(arrivals[i] - now)
+                        continue
+                    n = min(len(pending), FLEET_MAX_BATCH)
+                    batch = pending[:n]
+                    del pending[:n]
+                    n_set = 0
+                    for _ in range(n):
+                        set_accum += self.set_fraction
+                        if set_accum >= 1.0:
+                            set_accum -= 1.0
+                            n_set += 1
+                    n_get = n - n_set
+                    n_slow = 0
+                    for _ in range(n):
+                        slow_accum += seg.slow_fraction
+                        if slow_accum >= 1.0:
+                            slow_accum -= 1.0
+                            n_slow += 1
+                    sock = socks[sock_i % len(socks)]
+                    sock_i += 1
+                    cpu = n * costs.memcached_req_ns
+                    dev = 0
+                    if n_set:
+                        rx_cpu, d = host.stack.rx_burst(
+                            sock, 1, KEY_BYTES + self.value_bytes,
+                            ntrains=n_set)
+                        cpu += rx_cpu
+                        cpu += n_set * int(self.value_bytes
+                                           * costs.copy_ns_per_byte)
+                        cpu += machine.memory.cpu_stream_write(
+                            node, self.heap, n_set * self.value_bytes)
+                        tx_cpu, d2 = host.stack.tx_burst(
+                            sock, 1, ACK_BYTES, ntrains=n_set)
+                        cpu += tx_cpu
+                        dev = max(dev, d, d2)
+                    if n_get:
+                        rx_cpu, d = host.stack.rx_burst(
+                            sock, 1, KEY_BYTES, ntrains=n_get)
+                        cpu += rx_cpu
+                        cpu += machine.memory.cpu_stream_read(
+                            node, self.heap, n_get * self.value_bytes)
+                        tx_cpu, d2 = host.stack.tx_burst(
+                            sock, 1, self.value_bytes, ntrains=n_get)
+                        cpu += tx_cpu
+                        dev = max(dev, d, d2)
+                    if n_slow:
+                        # A slow reader stalls its transaction's
+                        # writeback: the hold parks in the device/socket
+                        # path, so it extends this batch but a capped
+                        # amount — the starvation bound the tests pin.
+                        base_txn = max(cpu, dev) // n
+                        dev += n_slow * min(
+                            int(self.slow_factor * base_txn),
+                            SLOW_HOLD_CAP_NS)
+                    busy = max(cpu, dev)
+                    done_at = now + busy
+                    for arrival, epoch in batch:
+                        self._digest(epoch).record(done_at - arrival)
+                    self.served += n
+                    if now < self.duration_ns:
+                        self.meter.record(n * self.value_bytes, n)
+                    yield thread.overlap(cpu, dev)
+            self.meter.finish(min(self.env.now, self.duration_ns))
+        return body
+
+    def transactions_ktps(self) -> float:
+        if self.meter.end_ns is None:
+            self.meter.finish(min(self.env.now, self.duration_ns))
+        return self.meter.ktps()

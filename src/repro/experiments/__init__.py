@@ -13,6 +13,7 @@ from repro.experiments import (  # noqa: F401  (registration side effects)
     fig13_colocation,
     fig14_migration,
     fig15_nvme,
+    fig16_fleet,
     fig_failover,
     sec24_remote_ddio,
     sec511_multicore,

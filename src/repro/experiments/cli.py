@@ -51,6 +51,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="cache finished sweep points in DIR, keyed "
                              "by code+parameter hash")
+    parser.add_argument("--servers", type=int, default=None, metavar="N",
+                        help="fleet experiments (fig16): servers behind "
+                             "the load balancer (default 8)")
+    parser.add_argument("--connections", type=int, default=None,
+                        metavar="N",
+                        help="fleet experiments (fig16): fleet-wide "
+                             "client connections (default 1048576)")
     return parser
 
 
@@ -70,6 +77,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.accuracy is not None:
         from repro.experiments.base import configure_accuracy
         configure_accuracy(args.accuracy)
+    if args.servers is not None or args.connections is not None:
+        from repro.experiments.fig16_fleet import configure_fleet
+        configure_fleet(servers=args.servers,
+                        connections=args.connections)
     if args.list:
         for name in all_experiment_names():
             experiment = get_experiment(name)

@@ -152,12 +152,21 @@ def _invoke(fn_path: str, params: Dict):
 
 def sweep_map(fn: Callable, points: Sequence[Dict],
               jobs: Optional[int] = None,
-              cache_dir: Optional[str] = None) -> List:
+              cache_dir: Optional[str] = None,
+              parallel_when: Optional[Callable[[int, int], bool]] = None,
+              ) -> List:
     """Run ``fn(**kwargs)`` for every kwargs dict in ``points``.
 
     Results come back in submission order.  ``fn`` must be a module-level
     function (picklable by path) whose kwargs are JSON-representable —
     true of every experiment point runner.
+
+    ``parallel_when(npoints, jobs)`` overrides the fan-out predicate
+    (default :func:`would_parallelize`).  The fleet executor passes its
+    own: a fleet point is a whole server simulation, heavy enough that
+    process fan-out is worth it whenever more than one worker is asked
+    for — including on hosts where the figure sweeps would fall back to
+    serial.
     """
     jobs = _jobs if jobs is None else jobs
     cache_dir = _cache_dir if cache_dir is None else cache_dir
@@ -178,7 +187,8 @@ def sweep_map(fn: Callable, points: Sequence[Dict],
     # more than one CPU to run them on, and enough uncached points to
     # amortise worker startup.  Everything else runs inline — on a
     # single-CPU host the pool only adds overhead (measured 0.75x).
-    if would_parallelize(len(pending), jobs):
+    should_parallelize = parallel_when or would_parallelize
+    if should_parallelize(len(pending), jobs):
         pool = _get_pool(jobs)
         futures = [(index, params, key,
                     pool.submit(_invoke, fn_path, params))

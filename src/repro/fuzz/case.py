@@ -50,6 +50,23 @@ NIC_FAULT_KINDS = ("pf_down", "pcie_link_down", "pcie_degrade",
                    "wire_loss", "qpi_throttle")
 SSD_FAULT_KINDS = ("pf_down", "pcie_link_down", "pcie_degrade")
 
+# ---- fleet-case grammar (rack-scale topology cases) -------------------
+#: Workload name of a fleet case.  Deliberately *not* in
+#: :data:`WORKLOADS`: that tuple feeds ``rng.choice`` in
+#: :func:`generate_case`, and committed corpus entries pin its stream.
+FLEET_WORKLOAD = "fleet"
+
+#: Rack sizes / fleet-wide connection counts the fleet fuzzer explores
+#: (small: a fleet case simulates every server, twice for replay, plus
+#: an exact-tier leg for agreement).
+FLEET_SERVERS = (2, 3, 4)
+FLEET_CONNECTIONS = (1024, 2048, 4096)
+FLEET_DURATIONS_NS = (2_000_000, 4_000_000)
+
+#: Failure scenarios the LB grammar can draw: nothing, a whole-server
+#: death, or a serving-PF flap (survivable under ioctopus only).
+FLEET_SCENARIOS = ("none", "server_down", "pf_flap")
+
 
 @dataclass
 class FuzzCase:
@@ -68,17 +85,41 @@ class FuzzCase:
         if self.config not in CONFIGS:
             raise ValueError(f"config must be one of {CONFIGS}, "
                              f"got {self.config!r}")
-        if self.workload not in WORKLOADS:
-            raise ValueError(f"workload must be one of {WORKLOADS}, "
+        if self.workload not in WORKLOADS + (FLEET_WORKLOAD,):
+            raise ValueError(f"workload must be one of "
+                             f"{WORKLOADS + (FLEET_WORKLOAD,)}, "
                              f"got {self.workload!r}")
         if self.duration_ns < 100_000:
             raise ValueError(f"duration_ns too short: {self.duration_ns}")
+        if self.workload == FLEET_WORKLOAD:
+            self._validate_fleet()
+            return
         for fault in self.faults:
             if fault.get("target") not in ("nic", "ssd"):
                 raise ValueError(f"fault needs target nic|ssd: {fault}")
             # Constructing the spec runs the full kind-specific
             # validation, so a malformed corpus entry fails loudly here.
             self._spec_of(fault)
+
+    def _validate_fleet(self) -> None:
+        """Fleet cases carry a whole FleetSpec in ``params`` and their
+        failure scenario inside it — never device-level faults."""
+        # Local import: the fleet grammar must not drag the cluster
+        # package (and the simulator core behind it) into every
+        # corpus-level use of this module.
+        from repro.cluster.spec import FleetSpec
+        if self.faults:
+            raise ValueError("fleet cases carry their failure scenario "
+                             "in params (server_down / pf_flap), not in "
+                             "the device fault list")
+        spec = FleetSpec.from_dict(self.params)
+        if spec.duration_ns != self.duration_ns:
+            raise ValueError(
+                f"fleet case duration {self.duration_ns} != spec "
+                f"duration {spec.duration_ns}")
+        if spec.config != self.config:
+            raise ValueError(f"fleet case config {self.config!r} != "
+                             f"spec config {spec.config!r}")
 
     # ----------------------------------------------------- serialization
 
@@ -203,3 +244,46 @@ def generate_case(master_seed: int, index: int) -> FuzzCase:
                     seed=master_seed * 1_000_003 + index,
                     config=config, workload=workload, params=params,
                     duration_ns=duration_ns, faults=faults)
+
+
+def generate_fleet_case(master_seed: int, index: int) -> FuzzCase:
+    """Expand ``(master_seed, index)`` into one *fleet* topology case.
+
+    Fleet cases draw from their own ``fleet-{index}`` child stream —
+    disjoint from the ``case-{index}`` streams of :func:`generate_case`
+    — so interleaving them into a campaign never perturbs the regular
+    cases, and committed corpus entries stay byte-identical.
+    """
+    from repro.cluster.spec import FleetSpec
+    rng = SimRandom(master_seed, name="fuzz").child(f"fleet-{index}")
+    servers = rng.choice(list(FLEET_SERVERS))
+    duration_ns = rng.choice(list(FLEET_DURATIONS_NS))
+    spec = {
+        "servers": servers,
+        "connections": rng.choice(list(FLEET_CONNECTIONS)),
+        "config": rng.choice(list(CONFIGS)),
+        "duration_ns": duration_ns,
+        "epochs": rng.choice([2, 4]),
+        "workers": rng.choice([1, 2]),
+        "conn_rate_tps": rng.choice([2.0, 8.0]),
+        "zipf_s": rng.choice([0.0, 1.1]),
+        "slow_fraction": rng.choice([0.0, 0.05]),
+        "incast_per_epoch": rng.choice([0, 1]),
+        "incast_fanin": rng.choice([16, 64]),
+    }
+    scenario = rng.choice(list(FLEET_SCENARIOS))
+    victim = rng.randint(0, servers - 1)
+    # Strike inside the middle of the run so the LB's epoch-quantized
+    # reaction and the post-death epochs both land inside the horizon.
+    at_ns = rng.randint(duration_ns // 4, (duration_ns * 3) // 4)
+    if scenario == "server_down":
+        spec["server_down"] = [victim, at_ns]
+    elif scenario == "pf_flap":
+        spec["pf_flap"] = [victim, at_ns, max(1, duration_ns // 4)]
+    # Round-trip through FleetSpec: validates the draw and normalizes
+    # the params dict to the full field set.
+    params = FleetSpec.from_dict(spec).to_dict()
+    return FuzzCase(case_id=f"s{master_seed}-f{index}",
+                    seed=master_seed * 1_000_003 + index,
+                    config=params["config"], workload=FLEET_WORKLOAD,
+                    params=params, duration_ns=duration_ns, faults=[])

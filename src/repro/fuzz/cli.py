@@ -45,6 +45,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--replay-corpus", default=None, metavar="DIR",
                         help="replay committed repros from DIR and "
                              "verify recorded violations + fingerprints")
+    parser.add_argument("--fleet-every", type=int, default=None,
+                        metavar="N",
+                        help="make every Nth case a rack-scale fleet "
+                             "topology case (default 5; 0 disables)")
     parser.add_argument("--shrink-budget", type=int,
                         default=DEFAULT_BUDGET, metavar="N",
                         help=f"max executions per shrink "
@@ -93,12 +97,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         if "mutation_smoke" not in invariants:
             invariants.append("mutation_smoke")
 
-    from repro.fuzz.harness import fuzz
+    from repro.fuzz.harness import FLEET_EVERY, fuzz
+    fleet_every = (FLEET_EVERY if args.fleet_every is None
+                   else args.fleet_every)
     summary = fuzz(master_seed=args.seed, cases=args.cases,
                    invariants=invariants, jobs=args.jobs,
                    time_budget_s=args.time_budget,
                    corpus_dir=args.corpus_dir,
                    shrink_budget=args.shrink_budget,
+                   fleet_every=fleet_every,
                    log=print)
 
     print(f"\n{summary['cases_run']}/{summary['cases_requested']} cases "

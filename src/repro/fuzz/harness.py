@@ -14,7 +14,7 @@ import time
 from typing import Dict, List, Optional
 
 from repro.experiments.sweep import sweep_map
-from repro.fuzz.case import generate_case
+from repro.fuzz.case import generate_case, generate_fleet_case
 from repro.fuzz.corpus import save_entry
 from repro.fuzz.invariants import DEFAULT_INVARIANTS, validate_names
 from repro.fuzz.runner import run_case
@@ -24,6 +24,12 @@ from repro.fuzz.shrink import DEFAULT_BUDGET, shrink
 #: enough that a time budget reacts within a few seconds.
 CHUNK = 8
 
+#: Every Nth campaign index becomes a *fleet topology* case (rack-scale
+#: LB + multi-server invariants) instead of a single-box case.  Fleet
+#: cases draw from their own RNG streams, so the regular cases at the
+#: other indices are exactly the ones a fleet-free campaign would run.
+FLEET_EVERY = 5
+
 
 def fuzz(master_seed: int = 0, cases: int = 25,
          invariants: Optional[List[str]] = None,
@@ -31,19 +37,30 @@ def fuzz(master_seed: int = 0, cases: int = 25,
          time_budget_s: Optional[float] = None,
          corpus_dir: Optional[str] = None,
          shrink_budget: int = DEFAULT_BUDGET,
+         fleet_every: Optional[int] = FLEET_EVERY,
          log=None) -> Dict:
     """Run one fuzz campaign; returns a summary dict.
 
     ``invariants=None`` selects :data:`DEFAULT_INVARIANTS`.  When
     ``corpus_dir`` is given, each shrunk repro is written there.
+    Every ``fleet_every``-th case is a fleet topology case (0/None
+    disables); fleet interleaving is skipped when ``mutation_smoke`` is
+    selected — that invariant probes the single-box device-fault path,
+    which fleet cases do not exercise.
     """
     names = list(invariants) if invariants else list(DEFAULT_INVARIANTS)
     validate_names(names)
     say = log or (lambda message: None)
     started = time.time()
 
-    points = [{"case": generate_case(master_seed, i).to_dict(),
-               "invariants": names}
+    fleet_ok = bool(fleet_every) and "mutation_smoke" not in names
+
+    def _case(index: int):
+        if fleet_ok and (index + 1) % fleet_every == 0:
+            return generate_fleet_case(master_seed, index)
+        return generate_case(master_seed, index)
+
+    points = [{"case": _case(i).to_dict(), "invariants": names}
               for i in range(cases)]
     results: List[Dict] = []
     truncated = False

@@ -31,6 +31,14 @@ list means the invariant held.  The catalogue:
 * ``mutation_smoke`` — intentionally-broken invariant used to prove the
   harness catches and shrinks: it *fails* whenever a PF-level fault
   actually fired.  Never in the default set.
+
+Fleet topology cases (workload ``fleet``) map the same names onto
+rack-scale properties in :func:`repro.fuzz.runner.run_fleet_case`:
+``conservation`` is the transaction ledger, ``drained`` is "deaths are
+the only loss channel", ``obs_consistency`` is merged-registry /
+shard-obs / failure-bookkeeping coherence, ``replay`` is the fleet
+fingerprint, and ``agreement`` holds exact and fluid tiers to the same
+counts and tails.
 """
 
 from __future__ import annotations

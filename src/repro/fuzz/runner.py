@@ -323,7 +323,10 @@ def run_case(case: Dict, invariants: Optional[List[str]] = None,
     Module-level and JSON-in/JSON-out so ``sweep_map`` can ship it to a
     worker process.  Returns ``{case, outcome, fingerprint, metrics,
     violations}`` where each violation is ``{"invariant", "detail"}``.
+    Fleet topology cases dispatch to :func:`run_fleet_case`.
     """
+    if case.get("workload") == "fleet":
+        return run_fleet_case(case, invariants=invariants)
     # Imported here (not at module top) to keep runner importable from
     # invariants without a cycle.
     from repro.fuzz.invariants import (DEFAULT_INVARIANTS, check,
@@ -356,6 +359,165 @@ def run_case(case: Dict, invariants: Optional[List[str]] = None,
         "error": obs["error"],
         "fingerprint": fingerprint(obs),
         "metrics": obs["metrics"],
+        "violations": violations,
+    }
+
+
+# ----------------------------------------------------------- fleet cases
+
+#: Fleet agreement: exact and fluid tiers must plan and serve identical
+#: transaction counts; merged tail percentiles may differ within this.
+FLEET_AGREEMENT_P99_REL = 0.5
+
+
+def _fleet_violations(spec, fleet, names: List[str]) -> List[Dict]:
+    """The invariant catalogue, mapped onto a merged fleet result.
+
+    ``conservation`` is the transaction ledger (planned = served +
+    lost, digests account for every served transaction), ``drained``
+    is "deaths are the only loss channel", and ``obs_consistency``
+    checks that the merged registry/rollups, the per-shard obs payloads
+    and the failure bookkeeping all tell the same story.
+    """
+    out: List[Dict] = []
+
+    def bad(invariant, detail):
+        out.append({"invariant": invariant, "detail": detail})
+
+    if "conservation" in names:
+        if fleet.planned != fleet.served + fleet.lost:
+            bad("conservation",
+                f"planned {fleet.planned} != served {fleet.served} + "
+                f"lost {fleet.lost}")
+        if fleet.digest.count != fleet.served:
+            bad("conservation",
+                f"digest count {fleet.digest.count} != served "
+                f"{fleet.served}")
+        epoch_total = sum(d.count for d in fleet.epoch_digests.values())
+        if epoch_total != fleet.served:
+            bad("conservation",
+                f"epoch digest counts sum to {epoch_total}, served "
+                f"{fleet.served}")
+        for shard in fleet.servers:
+            if shard["planned"] != shard["served"] + shard["lost"]:
+                bad("conservation",
+                    f"server {shard['server']}: planned "
+                    f"{shard['planned']} != served {shard['served']} + "
+                    f"lost {shard['lost']}")
+
+    if "drained" in names:
+        # Loss has exactly one legitimate channel: arrivals planned for
+        # a server the LB had not yet noticed was dead.
+        if not fleet.dead_servers() and fleet.lost:
+            bad("drained", f"{fleet.lost} transactions lost with every "
+                           f"server alive")
+        for shard in fleet.servers:
+            if shard["died_at"] is None and shard["lost"]:
+                bad("drained", f"server {shard['server']} alive but "
+                               f"lost {shard['lost']} transactions")
+
+    if "obs_consistency" in names:
+        expected_dead = sorted(
+            server for server in range(spec.servers)
+            if spec.death_ns(server) is not None)
+        if fleet.dead_servers() != expected_dead:
+            bad("obs_consistency",
+                f"dead servers {fleet.dead_servers()} != spec "
+                f"prediction {expected_dead}")
+        values = fleet.registry().collect()
+        if values.get("fleet.txn.served") != fleet.served:
+            bad("obs_consistency",
+                f"registry rollup fleet.txn.served "
+                f"{values.get('fleet.txn.served')} != merged "
+                f"{fleet.served}")
+        for shard in fleet.servers:
+            if not shard["obs"]:
+                bad("obs_consistency",
+                    f"server {shard['server']} shipped no obs values")
+            flap = spec.flap_for(shard["server"])
+            # A survivable flap must really have driven the team
+            # driver: one failover applied, one recovery applied.
+            if flap is not None and shard["failover_events"] != 2:
+                bad("obs_consistency",
+                    f"server {shard['server']}: pf flap logged "
+                    f"{shard['failover_events']} fault events, "
+                    f"expected 2 (failover + recovery)")
+    return out
+
+
+def run_fleet_case(case: Dict,
+                   invariants: Optional[List[str]] = None) -> Dict:
+    """Run one fleet topology case and check the fleet invariants.
+
+    The fleet runs inline (``jobs=1``) because :func:`run_case` itself
+    already executes inside a sweep worker during campaigns — nesting
+    process pools buys nothing.  The replay unit is the fleet
+    fingerprint (canonical sha256 over every shard); agreement replays
+    the fleet under the exact tier and holds the transaction counts
+    identical (the plan is tier-independent) and the merged p99 within
+    :data:`FLEET_AGREEMENT_P99_REL` — skipped when the scenario kills a
+    server, where truncation timing legitimately differs across tiers.
+    """
+    from repro.cluster import FleetSpec, run_fleet
+    from repro.fuzz.invariants import DEFAULT_INVARIANTS, validate_names
+    names = list(invariants) if invariants else list(DEFAULT_INVARIANTS)
+    validate_names(names)
+    spec = FleetSpec.from_dict(case["params"])
+    outcome, error = "ok", None
+    violations: List[Dict] = []
+    metrics: Dict = {}
+    fleet_fingerprint = ""
+    try:
+        fleet = run_fleet(spec, master_seed=case["seed"],
+                          accuracy="fluid", jobs=1)
+    except SimulationError as exc:
+        outcome = "crashed"
+        error = f"{type(exc).__name__}: {exc}"
+    else:
+        fleet_fingerprint = fleet.fingerprint()
+        violations = _fleet_violations(spec, fleet, names)
+        metrics = {"served": fleet.served, "lost": fleet.lost,
+                   "ktps": round(fleet.ktps, 3),
+                   "p99_ns": (fleet.percentile(99)
+                              if fleet.digest.count else None)}
+
+        if "replay" in names:
+            again = run_fleet(spec, master_seed=case["seed"],
+                              accuracy="fluid", jobs=1)
+            if again.fingerprint() != fleet_fingerprint:
+                violations.append({
+                    "invariant": "replay",
+                    "detail": f"same fleet diverged: "
+                              f"{fleet_fingerprint[:16]} != "
+                              f"{again.fingerprint()[:16]}"})
+
+        no_deaths = (spec.server_down is None and spec.pf_flap is None)
+        if "agreement" in names and no_deaths:
+            exact = run_fleet(spec, master_seed=case["seed"],
+                              accuracy="exact", jobs=1)
+            for key in ("planned", "served"):
+                want, got = getattr(exact, key), getattr(fleet, key)
+                if want != got:
+                    violations.append({
+                        "invariant": "agreement",
+                        "detail": f"fleet {key}: exact={want} "
+                                  f"fluid={got}"})
+            if exact.digest.count:
+                want = exact.percentile(99)
+                got = fleet.percentile(99)
+                if abs(got - want) > FLEET_AGREEMENT_P99_REL * want:
+                    violations.append({
+                        "invariant": "agreement",
+                        "detail": f"fleet p99: exact={want} fluid={got} "
+                                  f"(tolerance "
+                                  f"{FLEET_AGREEMENT_P99_REL:.0%})"})
+
+    return {
+        "case": case,
+        "outcome": outcome,
+        "error": error,
+        "fingerprint": fleet_fingerprint,
+        "metrics": metrics,
         "violations": violations,
     }
 

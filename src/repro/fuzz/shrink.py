@@ -11,6 +11,10 @@ order of how much they simplify the repro:
 5. reduce traffic (fewer fio threads / memcached workers, shallower
    iodepth).
 
+Fleet topology cases shrink along their own axes instead: drop the
+failure scenario, halve the rack / the client fleet / the run, strip
+the behaviour knobs.
+
 A candidate is accepted when re-running it still violates at least one
 of the *originally*-violated invariants — the shrunk case must fail for
 the same reason, not a new one.  Each accepted edit restarts the pass,
@@ -61,8 +65,58 @@ def _simplified_params(workload: str, params: Dict) -> Dict:
     return params
 
 
+def _fleet_candidates(case: Dict) -> Iterator[Dict]:
+    """One-step simplifications of a fleet topology case: drop the
+    failure scenario, shrink the rack, thin the clients, shorten the
+    run, then strip the behaviour knobs (workers, incast, slow
+    readers)."""
+    params = case["params"]
+    for key in ("server_down", "pf_flap"):
+        if params.get(key) is not None:
+            cand = copy.deepcopy(case)
+            cand["params"][key] = None
+            yield cand
+    if params["servers"] > 2:
+        cand = copy.deepcopy(case)
+        cand["params"]["servers"] = max(2, params["servers"] // 2)
+        for key in ("server_down", "pf_flap"):
+            event = cand["params"].get(key)
+            if event is not None and event[0] >= cand["params"]["servers"]:
+                event[0] = 0
+        yield cand
+    if params["connections"] > 512:
+        cand = copy.deepcopy(case)
+        cand["params"]["connections"] = params["connections"] // 2
+        yield cand
+    if case["duration_ns"] > MIN_DURATION_NS:
+        cand = copy.deepcopy(case)
+        duration = max(MIN_DURATION_NS, case["duration_ns"] // 2)
+        cand["duration_ns"] = duration
+        inner = cand["params"]
+        inner["duration_ns"] = duration
+        inner["epochs"] = min(inner["epochs"], duration)
+        for key in ("server_down", "pf_flap"):
+            event = inner.get(key)
+            if event is None:
+                continue
+            if event[1] >= duration:
+                inner[key] = None
+            elif key == "pf_flap":
+                event[2] = max(1, min(event[2], duration))
+        yield cand
+    for knob, floor in (("workers", 1), ("incast_per_epoch", 0),
+                        ("slow_fraction", 0.0)):
+        if params.get(knob, floor) > floor:
+            cand = copy.deepcopy(case)
+            cand["params"][knob] = floor
+            yield cand
+
+
 def candidates(case: Dict) -> Iterator[Dict]:
     """Every one-step simplification of ``case``, most aggressive first."""
+    if case["workload"] == "fleet":
+        yield from _fleet_candidates(case)
+        return
     for i in range(len(case["faults"])):
         cand = copy.deepcopy(case)
         del cand["faults"][i]

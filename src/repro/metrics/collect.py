@@ -5,7 +5,7 @@ from __future__ import annotations
 import math
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 @dataclass
@@ -86,6 +86,153 @@ class LatencyRecorder:
         if not self.samples:
             raise ValueError("no samples recorded")
         return max(self.samples)
+
+    def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        """Fold another recorder's samples into this one.
+
+        Percentiles over the merged recorder are *exactly* the
+        percentiles of the concatenated sample sets — this is the
+        reference the compact :class:`LatencyDigest` merge is tested
+        against."""
+        self.samples.extend(other.samples)
+        self._sorted = None
+        return self
+
+
+#: Log-bucket resolution: buckets per octave (power of two).  16 per
+#: octave bounds any bucket's relative width — and therefore any digest
+#: percentile's relative error — to 2**(1/16) - 1 < 4.5%.
+DIGEST_BUCKETS_PER_OCTAVE = 16
+
+_DIGEST_GAMMA = 2.0 ** (1.0 / DIGEST_BUCKETS_PER_OCTAVE)
+_DIGEST_LOG_GAMMA = math.log(_DIGEST_GAMMA)
+
+
+class LatencyDigest:
+    """Compact mergeable latency histogram (log-spaced buckets).
+
+    Workers ship digests instead of raw samples: a digest is a sparse
+    ``bucket index -> count`` map plus exact count/sum/min/max, so a
+    million-sample tail costs a few hundred integers on the wire.
+    Merging digests is bucket-count addition, which makes the merge
+    associative and order-independent — the fleet's per-server shards
+    combine into one view whose percentiles match the single-process
+    percentiles to within one bucket's relative width
+    (< ``2**(1/DIGEST_BUCKETS_PER_OCTAVE) - 1``, about 4.4%).
+    """
+
+    __slots__ = ("buckets", "count", "sum", "min", "max")
+
+    def __init__(self):
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    @staticmethod
+    def bucket_of(value_ns: int) -> int:
+        """Index of the log bucket holding ``value_ns`` (0 and 1 ns share
+        bucket 0)."""
+        if value_ns <= 1:
+            return 0
+        return int(math.log(value_ns) / _DIGEST_LOG_GAMMA) + 1
+
+    @staticmethod
+    def bucket_value(index: int) -> int:
+        """Representative latency of bucket ``index`` (geometric mean of
+        its edges), the value percentiles report."""
+        if index <= 0:
+            return 1
+        return int(round(_DIGEST_GAMMA ** (index - 0.5)))
+
+    def record(self, latency_ns: int) -> None:
+        if latency_ns < 0:
+            raise ValueError(f"negative latency {latency_ns}")
+        index = self.bucket_of(latency_ns)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+        self.count += 1
+        self.sum += latency_ns
+        if self.min is None or latency_ns < self.min:
+            self.min = latency_ns
+        if self.max is None or latency_ns > self.max:
+            self.max = latency_ns
+
+    def __len__(self) -> int:
+        return self.count
+
+    @classmethod
+    def from_recorder(cls, recorder: LatencyRecorder) -> "LatencyDigest":
+        digest = cls()
+        for sample in recorder.samples:
+            digest.record(sample)
+        return digest
+
+    def merge(self, other: "LatencyDigest") -> "LatencyDigest":
+        """Fold ``other`` into this digest (bucket-count addition)."""
+        for index, n in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + n
+        self.count += other.count
+        self.sum += other.sum
+        if other.min is not None:
+            self.min = (other.min if self.min is None
+                        else min(self.min, other.min))
+        if other.max is not None:
+            self.max = (other.max if self.max is None
+                        else max(self.max, other.max))
+        return self
+
+    def average(self) -> float:
+        if not self.count:
+            raise ValueError("no samples recorded")
+        return self.sum / self.count
+
+    def percentile(self, p: float) -> int:
+        """Nearest-rank percentile, p in [0, 100]; exact at the extremes
+        (min/max are tracked exactly), within one bucket width
+        elsewhere."""
+        if not self.count:
+            raise ValueError("no samples recorded")
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        rank = max(1, math.ceil(p / 100 * self.count))
+        if rank >= self.count:
+            return self.max
+        if rank <= 1:
+            return self.min
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                return max(self.min, min(self.max,
+                                         self.bucket_value(index)))
+        return self.max  # unreachable: counts sum to self.count
+
+    # ----------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict:
+        """Plain-JSON form (sparse buckets keyed by str for JSON)."""
+        return {
+            "buckets": {str(k): v
+                        for k, v in sorted(self.buckets.items())},
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "LatencyDigest":
+        digest = cls()
+        digest.buckets = {int(k): int(v)
+                          for k, v in data["buckets"].items()}
+        digest.count = int(data["count"])
+        digest.sum = int(data["sum"])
+        digest.min = None if data["min"] is None else int(data["min"])
+        digest.max = None if data["max"] is None else int(data["max"])
+        if sum(digest.buckets.values()) != digest.count:
+            raise ValueError("digest bucket counts do not sum to count")
+        return digest
 
 
 @dataclass

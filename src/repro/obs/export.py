@@ -19,13 +19,27 @@ def prometheus_name(name: str, prefix: str = "repro") -> str:
     return f"{prefix}_{_NAME_RE.sub('_', name)}"
 
 
-def to_prometheus(registry: MetricsRegistry, prefix: str = "repro") -> str:
+def _label_block(labels: Optional[Dict[str, str]],
+                 extra: str = "") -> str:
+    """Render a ``{k="v",...}`` label block ("" when there are none)."""
+    parts = [f'{key}="{labels[key]}"' for key in sorted(labels or {})]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def to_prometheus(registry: MetricsRegistry, prefix: str = "repro",
+                  labels: Optional[Dict[str, str]] = None) -> str:
     """Prometheus text exposition (0.0.4) of every instrument.
 
     Counters/gauges become single samples; histograms become
     summary-style quantile samples plus ``_count``/``_sum``.
+    ``labels`` is stamped onto every sample — the fleet export passes
+    ``{"server": "<id>"}`` so merged per-server registries stay
+    distinguishable after scraping.
     """
     lines = []
+    plain = _label_block(labels)
     for name in registry.names():
         instrument = registry.instruments[name]
         metric = prometheus_name(name, prefix)
@@ -36,13 +50,14 @@ def to_prometheus(registry: MetricsRegistry, prefix: str = "repro") -> str:
             for quantile, p in _QUANTILES:
                 if instrument.count:
                     value = instrument.percentile(p)
-                    lines.append(
-                        f'{metric}{{quantile="{quantile}"}} {value}')
-            lines.append(f"{metric}_count {instrument.count}")
-            lines.append(f"{metric}_sum {instrument.sum}")
+                    block = _label_block(labels,
+                                         f'quantile="{quantile}"')
+                    lines.append(f"{metric}{block} {value}")
+            lines.append(f"{metric}_count{plain} {instrument.count}")
+            lines.append(f"{metric}_sum{plain} {instrument.sum}")
         else:
             lines.append(f"# TYPE {metric} {instrument.kind}")
-            lines.append(f"{metric} {instrument.value}")
+            lines.append(f"{metric}{plain} {instrument.value}")
     return "\n".join(lines) + "\n"
 
 

@@ -164,13 +164,22 @@ class MetricsRegistry:
     :data:`NOOP` instrument and nothing is registered, so a disabled
     registry costs nothing to carry around and (by construction) nothing
     per event.
+
+    ``namespace`` prefixes every registered name (``namespace.name``) —
+    the fleet merge path gives each server's metrics its own namespace
+    (``srv0.``, ``srv1.``, ...) so merged registries never collide on
+    instrument names.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, namespace: str = ""):
         self.enabled = enabled
+        self.namespace = namespace
         self.instruments: Dict[str, Instrument] = {}
 
     # -------------------------------------------------------- factories
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.namespace}.{name}" if self.namespace else name
 
     def _register(self, instrument: Instrument) -> Instrument:
         if instrument.name in self.instruments:
@@ -183,20 +192,42 @@ class MetricsRegistry:
                 detail: bool = False) -> Union[Counter, NoopInstrument]:
         if not self.enabled:
             return NOOP
-        return self._register(Counter(name, help, detail))
+        return self._register(Counter(self._qualify(name), help, detail))
 
     def gauge(self, name: str, fn: Optional[Callable[[], float]] = None,
               help: str = "",
               detail: bool = False) -> Union[Gauge, NoopInstrument]:
         if not self.enabled:
             return NOOP
-        return self._register(Gauge(name, fn, help, detail))
+        return self._register(Gauge(self._qualify(name), fn, help, detail))
 
     def histogram(self, name: str, help: str = "",
                   detail: bool = False) -> Union[Histogram, NoopInstrument]:
         if not self.enabled:
             return NOOP
-        return self._register(Histogram(name, help, detail))
+        return self._register(Histogram(self._qualify(name), help, detail))
+
+    # ----------------------------------------------------------- merging
+
+    def absorb(self, values: Dict[str, float],
+               namespace: str = "") -> None:
+        """Register a flat ``name -> value`` mapping (a worker's
+        ``collect()`` output) as plain gauges, optionally under an extra
+        ``namespace`` prefix.
+
+        This is how a fleet run merges per-worker registries shipped
+        across process boundaries: each server's collected values land
+        under its own namespace, so no two servers' instruments collide.
+        A collision (same fully-qualified name twice) still raises — the
+        caller picked overlapping namespaces.
+        """
+        if not self.enabled:
+            return
+        for name in sorted(values):
+            qualified = f"{namespace}.{name}" if namespace else name
+            gauge = Gauge(self._qualify(qualified))
+            gauge.set(float(values[name]))
+            self._register(gauge)
 
     # ------------------------------------------------------- collection
 

@@ -1,0 +1,66 @@
+"""The deterministic L4 LB: balance, stability, bounded-lag health."""
+
+from repro.cluster.lb import (alive_servers, assignment, blocks_for,
+                              home_server, pick_counts)
+from repro.cluster.spec import FLEET_BLOCKS, FleetSpec
+
+
+def test_assignment_is_deterministic_and_total():
+    spec = FleetSpec(servers=8, connections=65536)
+    first = assignment(spec, 0)
+    again = assignment(spec, 0)
+    assert first == again
+    assert set(first) == set(range(FLEET_BLOCKS))
+    assert set(first.values()) <= set(range(8))
+
+
+def test_pick_distribution_is_balanced():
+    spec = FleetSpec(servers=8, connections=1_048_576)
+    counts = pick_counts(spec, 0)
+    assert sum(counts.values()) == spec.connections
+    mean = spec.connections / spec.servers
+    for server, count in counts.items():
+        assert 0.6 * mean < count < 1.5 * mean, (
+            f"server {server} carries {count} of mean {mean}")
+
+
+def test_blocks_for_partitions_the_blocks():
+    spec = FleetSpec(servers=5)
+    seen = []
+    for server in range(5):
+        seen.extend(blocks_for(spec, server, 0))
+    assert sorted(seen) == list(range(FLEET_BLOCKS))
+
+
+def test_death_moves_only_the_dead_servers_blocks():
+    base = FleetSpec(servers=6, connections=65536)
+    down = FleetSpec(servers=6, connections=65536,
+                     server_down=(2, 1))  # dead from (almost) the start
+    before = assignment(base, 0)
+    # Epoch 1 of the faulted fleet: server 2 is gone.
+    after = assignment(down, 1)
+    assert 2 not in set(after.values())
+    moved = [b for b in range(FLEET_BLOCKS) if before[b] != after[b]]
+    # Rendezvous hashing: only the dead server's blocks moved.
+    assert moved == [b for b in range(FLEET_BLOCKS) if before[b] == 2]
+    # And they spread over the survivors, not onto one scapegoat.
+    new_homes = {after[b] for b in moved}
+    assert len(new_homes) >= 3
+
+
+def test_health_is_quantized_to_epochs():
+    spec = FleetSpec(servers=4, duration_ns=8_000_000, epochs=4,
+                     server_down=(1, 3_000_000))  # mid-epoch 1
+    # The LB has not noticed within the death epoch...
+    assert 1 in alive_servers(spec, 0)
+    assert 1 in alive_servers(spec, 1)
+    assert blocks_for(spec, 1, 1)
+    # ...and reacts at the next epoch boundary.
+    assert 1 not in alive_servers(spec, 2)
+    assert blocks_for(spec, 1, 2) == []
+
+
+def test_home_server_prefers_alive_set_members():
+    for block in range(40):
+        assert home_server(block, {3}) == 3
+        assert home_server(block, {0, 1, 2}) in {0, 1, 2}

@@ -93,3 +93,33 @@ def test_collect_flattens_and_filters_detail():
     curated = reg.collect(include_detail=False)
     assert "a.debug" not in curated
     assert "a.count" in curated
+
+
+def test_namespace_prefixes_every_instrument():
+    registry = MetricsRegistry(namespace="srv3")
+    registry.counter("nic.doorbells")
+    registry.gauge("qpi.util", lambda: 0.5)
+    assert registry.names() == ["srv3.nic.doorbells", "srv3.qpi.util"]
+
+
+def test_namespaced_registries_do_not_collide_when_absorbed():
+    fleet = MetricsRegistry()
+    for server in range(3):
+        fleet.absorb({"nic.rx_bytes": 100 * server, "cpu.util": 0.1},
+                     namespace=f"srv{server}")
+    assert fleet.get("srv0.nic.rx_bytes").value == 0.0
+    assert fleet.get("srv2.nic.rx_bytes").value == 200.0
+    assert len(fleet.names()) == 6
+
+
+def test_absorb_same_namespace_twice_collides():
+    fleet = MetricsRegistry()
+    fleet.absorb({"x": 1.0}, namespace="srv0")
+    with pytest.raises(ValueError):
+        fleet.absorb({"x": 2.0}, namespace="srv0")
+
+
+def test_absorb_on_disabled_registry_is_noop():
+    registry = MetricsRegistry(enabled=False)
+    registry.absorb({"x": 1.0}, namespace="srv0")
+    assert registry.instruments == {}

@@ -108,3 +108,20 @@ def test_disabled_session_registers_nothing():
     assert obs.registry.instruments == {}
     assert obs.sampler is None
     assert obs.tracer is None
+
+
+def test_prometheus_labels_stamped_on_every_sample():
+    from repro.obs.export import to_prometheus
+    from repro.obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.counter("nic.rx_bytes").inc(7)
+    hist = registry.histogram("lat")
+    hist.observe(5.0)
+    text = to_prometheus(registry, labels={"server": "3"})
+    assert 'repro_nic_rx_bytes{server="3"} 7' in text
+    assert 'repro_lat{server="3",quantile="0.5"}' in text
+    assert 'repro_lat_count{server="3"} 1' in text
+    # No labels -> the historical bare format.
+    bare = to_prometheus(registry)
+    assert "repro_nic_rx_bytes 7" in bare

@@ -13,7 +13,10 @@ events-per-packet grows, serial figure wall-clock grows by more than
 adaptive train fast path no longer cuts events-per-packet by at least
 its floor (see ``perf.harness.ADAPTIVE_REDUCTION_FLOOR``) on the fig08
 pktgen point, or carrying a disabled ObsSession costs more than
-``perf.harness.OBS_OVERHEAD_CEILING`` of events/sec.
+``perf.harness.OBS_OVERHEAD_CEILING`` of events/sec, or the fleet
+bench's process-sharded fingerprint diverges from the inline run (or
+its scaling efficiency drops below ``FLEET_EFFICIENCY_FLOOR`` on
+multi-CPU hosts).
 """
 
 from __future__ import annotations

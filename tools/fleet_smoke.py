@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Fleet determinism smoke: run a small rack and verify the headline
+claim — the merged fleet fingerprint is identical across repeats and
+across ``--jobs`` values (process sharding is invisible).
+
+Usage::
+
+    python tools/fleet_smoke.py                      # 2-server smoke
+    python tools/fleet_smoke.py --servers 4 --jobs 4
+    python tools/fleet_smoke.py --print-fingerprint  # golden-spec hash
+
+``--print-fingerprint`` runs the pinned golden spec of
+``tests/cluster/test_fleet.py`` and prints its fingerprint — the one
+deliberate way to regenerate ``GOLDEN_FINGERPRINT`` after a behaviour
+change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.cluster import FleetSpec, run_fleet  # noqa: E402
+from repro.experiments import sweep  # noqa: E402
+
+#: Mirror of tests/cluster/test_fleet.py's pinned golden fleet.
+GOLDEN_SPEC = dict(servers=4, connections=8192, duration_ns=4_000_000,
+                   epochs=4)
+GOLDEN_SEED = 7
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--servers", type=int, default=2)
+    parser.add_argument("--connections", type=int, default=4096)
+    parser.add_argument("--duration-ns", type=int, default=2_000_000)
+    parser.add_argument("--epochs", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="workers for the cross-process leg")
+    parser.add_argument("--print-fingerprint", action="store_true",
+                        help="print the golden spec's fleet fingerprint "
+                             "and exit")
+    args = parser.parse_args(argv)
+
+    if args.print_fingerprint:
+        fleet = run_fleet(FleetSpec(**GOLDEN_SPEC),
+                          master_seed=GOLDEN_SEED, accuracy="fluid",
+                          jobs=1)
+        print(fleet.fingerprint())
+        return 0
+
+    spec = FleetSpec(servers=args.servers, connections=args.connections,
+                     duration_ns=args.duration_ns, epochs=args.epochs)
+    inline = run_fleet(spec, master_seed=args.seed, accuracy="fluid",
+                       jobs=1)
+    again = run_fleet(spec, master_seed=args.seed, accuracy="fluid",
+                      jobs=1)
+    try:
+        sharded = run_fleet(spec, master_seed=args.seed,
+                            accuracy="fluid", jobs=args.jobs)
+    finally:
+        sweep.shutdown_pool()
+
+    summary = inline.summary()
+    print(f"fleet {spec.servers} servers x {spec.connections} conns: "
+          f"served {summary['served']}, lost {summary['lost']}, "
+          f"p99 {summary.get('p99_ns', 0) / 1000:.1f}us")
+    print(f"  inline fingerprint  {inline.fingerprint()}")
+    print(f"  repeat fingerprint  {again.fingerprint()}")
+    print(f"  jobs={args.jobs} fingerprint  {sharded.fingerprint()}")
+
+    ok = (inline.fingerprint() == again.fingerprint()
+          == sharded.fingerprint())
+    conserved = summary["planned"] == summary["served"] + summary["lost"]
+    if not ok:
+        print("FAIL: fleet fingerprint is not deterministic",
+              file=sys.stderr)
+    if not conserved:
+        print("FAIL: planned != served + lost", file=sys.stderr)
+    if ok and conserved:
+        print("fleet smoke OK: deterministic across repeats and jobs")
+    return 0 if ok and conserved else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
