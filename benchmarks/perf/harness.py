@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import os
 import platform
+import tempfile
 import time
 from typing import Dict, List
 
@@ -88,6 +89,10 @@ FLEET_EFFICIENCY_FLOOR = 0.7
 FLEET_BENCH_SERVERS = 8
 FLEET_BENCH_CONNECTIONS = 32768
 FLEET_BENCH_DURATION_NS = 4_000_000
+
+#: Simulated ns per ablation-matrix row in the cache bench (short: the
+#: bench measures the cache contract, not the simulator).
+ABLATION_BENCH_DURATION_NS = 2_000_000
 
 
 def _engine_workload(kind: str, testbed: Testbed, duration_ns: int):
@@ -409,6 +414,39 @@ def bench_fleet(servers: int = FLEET_BENCH_SERVERS,
     return cell
 
 
+def bench_ablation_cache(
+        duration_ns: int = ABLATION_BENCH_DURATION_NS) -> Dict:
+    """Two passes of the fig08 leave-one-out ablation matrix through a
+    throwaway sweep cache.  The second pass must be pure cache hits:
+    stable content-hash run IDs are what make ablation matrices
+    resumable across processes, and a single miss means a config or
+    cache key picked up process-dependent state."""
+    from repro.experiments.ablate import run_ablation
+    previous_cache = sweep._cache_dir
+    with tempfile.TemporaryDirectory() as cache_dir:
+        sweep.configure(cache_dir=cache_dir)
+        try:
+            start = time.perf_counter()
+            first = run_ablation("fig08", fidelity="quick",
+                                 accuracy="fluid",
+                                 duration_ns=duration_ns)
+            cold = time.perf_counter() - start
+            start = time.perf_counter()
+            second = run_ablation("fig08", fidelity="quick",
+                                  accuracy="fluid",
+                                  duration_ns=duration_ns)
+            warm = time.perf_counter() - start
+        finally:
+            sweep.configure(cache_dir=previous_cache or "")
+    return {
+        "rows": first["cache"]["lookups"],
+        "cold_s": round(cold, 4),
+        "warm_s": round(warm, 4),
+        "cold_hit_rate": round(first["cache"]["hit_rate"], 4),
+        "warm_hit_rate": round(second["cache"]["hit_rate"], 4),
+    }
+
+
 def bench_figure(name: str, fidelity: str, jobs: int,
                  repeats: int = 3) -> float:
     """Wall-clock seconds of one full figure sweep at ``jobs`` workers.
@@ -465,6 +503,7 @@ def run_bench(fidelity: str = "quick", jobs: int = 4) -> Dict:
     accuracy = bench_accuracy_triple()
     obs = bench_obs_pair()
     fleet = bench_fleet(jobs=jobs)
+    ablation = bench_ablation_cache()
     figures = {name: _figure_bench(name, fidelity, jobs)
                for name in FIGURES}
     sweep.shutdown_pool()
@@ -481,6 +520,7 @@ def run_bench(fidelity: str = "quick", jobs: int = 4) -> Dict:
         "accuracy": accuracy,
         "obs": obs,
         "fleet": fleet,
+        "ablation": ablation,
         "figures": figures,
     }
 
@@ -584,6 +624,16 @@ def check_regression(current: Dict, baseline: Dict,
                     f"fleet: serial {fleet['serial_s']}s > "
                     f"{ceiling:.3f}s (baseline "
                     f"{base_fleet['serial_s']}s + {threshold:.0%})")
+    # Absolute gate, read from the current report: re-running an
+    # identical ablation matrix must be pure cache hits (run-ID
+    # stability across processes is the ablation engine's contract).
+    ablation = current.get("ablation")
+    if ablation is not None and ablation.get("warm_hit_rate", 1.0) < 1.0:
+        failures.append(
+            f"ablation: second-pass matrix hit rate "
+            f"{ablation['warm_hit_rate']:.0%} < 100% "
+            f"({ablation['rows']} rows; a miss means an unstable "
+            f"cache key)")
     for name, base in baseline.get("figures", {}).items():
         now = current.get("figures", {}).get(name)
         if now is None:
@@ -654,6 +704,14 @@ def format_report(report: Dict) -> str:
             f"{fleet['efficiency']:.2f}  fingerprint "
             f"{'match' if fleet['fingerprint_match'] else 'DIFFERS'}"
             f"{marker}")
+    ablation = report.get("ablation")
+    if ablation:
+        lines.append(
+            f"  ablate fig08 matrix       {ablation['rows']} rows  "
+            f"cold {ablation['cold_s']:.3f}s "
+            f"({ablation['cold_hit_rate']:.0%} hits)  warm "
+            f"{ablation['warm_s']:.3f}s "
+            f"({ablation['warm_hit_rate']:.0%} hits)")
     for name, fig in report["figures"].items():
         marker = "  (serial fallback)" if fig.get("serial_fallback") else ""
         lines.append(f"  figure {name:18s} serial {fig['serial_s']:.3f}s  "

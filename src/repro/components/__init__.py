@@ -1,0 +1,42 @@
+"""First-class system components: registry + declarative configuration.
+
+Every mechanism the paper's evaluation turns on — DDIO, ARFS migration,
+XPS, MPFS fast-failover, interrupt moderation, train coalescing, the
+§4.2 no-reorder re-steer rule — is registered here as a toggleable
+:class:`Component`; a frozen :class:`SystemConfig` names a preset plus
+component overrides and hashes to a stable run ID.  The testbed builder
+applies a config at build time; the ablation engine generates
+leave-one-out matrices over it.
+"""
+
+from repro.components.config import (
+    PRESETS,
+    SystemConfig,
+    as_system_config,
+    loo_matrix,
+)
+from repro.components.registry import (
+    LAYERS,
+    Component,
+    all_components,
+    component_names,
+    default_states,
+    fault_safe_component_names,
+    get_component,
+    register_component,
+)
+
+__all__ = [
+    "Component",
+    "LAYERS",
+    "PRESETS",
+    "SystemConfig",
+    "all_components",
+    "as_system_config",
+    "component_names",
+    "default_states",
+    "fault_safe_component_names",
+    "get_component",
+    "loo_matrix",
+    "register_component",
+]

@@ -1,6 +1,16 @@
 """The paper's contribution: the octoNIC driver stack and testbed configs."""
 
-from repro.core.configurations import CONFIGS, FAR_NODE, NIC_NODE, Host, Testbed
+from repro.core.configurations import (
+    CONFIGS,
+    FAR_NODE,
+    NIC_NODE,
+    Host,
+    Testbed,
+    TestbedBuilder,
+    apply_components,
+    attach_octossd,
+    attach_octossd_fleet,
+)
 from repro.core.sg import (
     SgFragment,
     SgHint,
@@ -20,6 +30,10 @@ __all__ = [
     "SgFragment",
     "SgHint",
     "Testbed",
+    "TestbedBuilder",
+    "apply_components",
+    "attach_octossd",
+    "attach_octossd_fleet",
     "plan_fragments",
     "transmit_with_hints",
     "transmit_without_hints",

@@ -79,7 +79,7 @@ class OctoTeamDriver(OctoTeam, NetDriver):
             firmware.arfs_update(pf_id, flow, new_queue, now=now)
             firmware.ioctorfs_update(flow, pf_id, now=now)
 
-        if immediate or old_queue is None:
+        if immediate or old_queue is None or not self.no_reorder_resteer:
             apply()
             self.steering_updates += 1
         else:

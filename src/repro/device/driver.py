@@ -20,6 +20,12 @@ class DeviceDriver:
 
     name = "base"
 
+    #: The §4.2 no-reorder rule: deferred steering updates (migration
+    #: re-steers, failover/recovery re-steer plans) wait for the old
+    #: queue(s) to drain.  The ``no_reorder_resteer`` component clears
+    #: this to model the unsafe immediate-re-steer baseline.
+    no_reorder_resteer = True
+
     def __init__(self, machine, device):
         self.machine = machine
         self.device = device

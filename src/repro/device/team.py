@@ -120,7 +120,8 @@ class OctoTeam:
 
         apply_resteer, detail = self._plan_failover_resteer(pf, fallback)
         gating = self._drainable(moved)
-        drain = max((self._drain_delay_ns(q) for q in gating), default=0)
+        drain = (max((self._drain_delay_ns(q) for q in gating), default=0)
+                 if self.no_reorder_resteer else 0)
 
         def apply():
             # No-reorder rule (§4.2): by the time the re-steer applies,
@@ -150,8 +151,9 @@ class OctoTeam:
 
         drainable = self._drainable(back)
         apply_resteer, detail = self._plan_recovery_resteer(pf, drainable)
-        drain = max((self._drain_delay_ns(q) for q in drainable),
-                    default=0)
+        drain = (max((self._drain_delay_ns(q) for q in drainable),
+                     default=0)
+                 if self.no_reorder_resteer else 0)
 
         def apply():
             residual = sum(q.outstanding for q in drainable)

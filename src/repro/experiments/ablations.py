@@ -18,13 +18,20 @@ discussion turns on:
 * ``abl_window`` — sensitivity of congested remote Rx to the DMA
   engine's outstanding-transaction window.
 * ``abl_scale``  — IOctopus on a 4-socket machine (one x4 PF per socket).
+
+Component-level leave-one-out ablation (which *mechanism* earns its
+cost) is a separate engine: :mod:`repro.experiments.ablate`.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.core.configurations import Testbed
+from repro.core.configurations import (
+    Testbed,
+    TestbedBuilder,
+    attach_octossd_fleet,
+)
 from repro.core.sg import (
     SgFragment,
     plan_fragments,
@@ -33,22 +40,16 @@ from repro.core.sg import (
 )
 from repro.experiments.base import Experiment, ExperimentResult, register
 from repro.experiments.fig15_nvme import run_fio_point
-from repro.experiments.runners import run_tcp_stream, warmup_of
-from repro.nvme.device import NvmeController
-from repro.nvme.driver import NvmeDriver
-from repro.workloads.fio import spawn_fio_fleet
-from repro.nic.device import NicDevice
-from repro.nic.firmware import OctoFirmware
+from repro.experiments.runners import MembwProbe, warmup_of
 from repro.nic.packet import Flow
 from repro.nic.wire import EthernetWire
-from repro.pcie.fabric import bifurcate
-from repro.pcie.switch import PcieSwitch
 from repro.sim.engine import Environment
 from repro.topology.constants import dell_r730_spec
-from repro.topology.machine import Machine
-from repro.units import KB
+from repro.units import KB, MB
+from repro.workloads.fio import spawn_fio_fleet
 from repro.workloads.netperf import TcpStream
 from repro.workloads.pktgen import Pktgen
+from repro.workloads.stream_bench import spawn_stream_pairs
 
 
 @register
@@ -66,26 +67,17 @@ class AblWiring(Experiment):
                   "power for runtime flexibility (reattach, P2P DMA)")
         for wiring in ("bifurcation", "switch"):
             env = Environment()
-            machine = Machine(dell_r730_spec(), env=env)
             wire = EthernetWire(env)
-            if wiring == "bifurcation":
-                pfs = bifurcate(machine, 16, [0, 1], name="octo")
-                lanes, power = 16, 0.0
-            else:
-                switch = PcieSwitch(machine)
-                pfs = switch.attach_per_node(8, name="octo")
-                lanes, power = switch.lanes_required(), switch.power_watts
-            nic = NicDevice(machine, pfs, OctoFirmware(2), wire=wire,
-                            wire_side="b")
-            from repro.core.teaming import OctoTeamDriver
-            from repro.core.configurations import Host
-            host = Host(machine, nic, OctoTeamDriver(machine, nic))
+            host = (TestbedBuilder("ioctopus").wiring(wiring)
+                    .pf_name("octo").build_host(env=env, wire=wire))
+            machine = host.machine
             core = machine.cores_on_node(0)[0]
             workload = Pktgen(host, core, 1500, duration,
                               warmup_of(duration))
             env.run(until=duration + duration // 5)
             result.add(wiring, round(workload.mpps(), 2),
-                       pfs[0].mmio_latency(0), lanes, power)
+                       host.nic.pfs[0].mmio_latency(0),
+                       host.wiring_lanes, host.wiring_power_w)
         return result
 
 
@@ -171,12 +163,7 @@ def run_mixed_io_point(config: str, duration_ns: int) -> dict:
     warmup = duration_ns // 5
     tcp = TcpStream(host, machine.cores_on_node(1)[0], Flow.make(0),
                     64 * KB, "rx", duration_ns, warmup)
-    attach = [0, 1] if octo else [0]
-    ssds = [NvmeController(machine,
-                           bifurcate(machine, 8 * len(attach), attach,
-                                     name=f"ssd{i}"), name=f"ssd{i}")
-            for i in range(MIXED_SSDS)]
-    drivers = [NvmeDriver(machine, ssd, octo_mode=octo) for ssd in ssds]
+    drivers = attach_octossd_fleet(machine, octo, MIXED_SSDS)
     fio_cores = machine.cores_on_node(1)[1:1 + MIXED_FIO_THREADS]
     fleet = spawn_fio_fleet(host, fio_cores, drivers, duration_ns, warmup)
     testbed.run(duration_ns + warmup)
@@ -231,8 +218,6 @@ class AblDdio(Experiment):
                   "consumer windows) pushes local DMA toward remote-like "
                   "memory behaviour; paper §5.1.1 multi-core shows the "
                   "full-size case")
-        from repro.experiments.runners import MembwProbe
-        from repro.units import MB
         for llc_mb in (70, 35, 18, 9):
             spec = dell_r730_spec()
             spec = replace(spec, cpu=replace(spec.cpu,
@@ -273,7 +258,6 @@ class AblWindow(Experiment):
             workload = TcpStream(testbed.server, testbed.server_core(0),
                                  Flow.make(0), 64 * KB, "rx", duration,
                                  warmup)
-            from repro.workloads.stream_bench import spawn_stream_pairs
             spawn_stream_pairs(testbed.server, 6, duration, warmup,
                                skip_cores=[testbed.server_core(0)])
             testbed.run(duration + duration // 5)
@@ -300,24 +284,15 @@ class AblScale(Experiment):
             rates = {}
             for arrangement in ("standard", "octo"):
                 env = Environment()
-                machine = Machine(spec, env=env)
                 wire = EthernetWire(env)
-                from repro.core.configurations import Host
-                from repro.core.teaming import OctoTeamDriver
-                from repro.nic.firmware import StandardFirmware
-                from repro.os_model.driver import StandardDriver
                 if arrangement == "octo":
-                    pfs = bifurcate(machine, 16, [0, 1, 2, 3], name="o4")
-                    nic = NicDevice(machine, pfs, OctoFirmware(4),
-                                    wire=wire, wire_side="b")
-                    host = Host(machine, nic,
-                                OctoTeamDriver(machine, nic))
+                    builder = (TestbedBuilder("ioctopus").spec(spec)
+                               .pf_name("o4"))
                 else:
-                    pfs = bifurcate(machine, 16, [0], name="s4")
-                    nic = NicDevice(machine, pfs, StandardFirmware(1),
-                                    wire=wire, wire_side="b")
-                    host = Host(machine, nic,
-                                StandardDriver(machine, nic, 0))
+                    builder = (TestbedBuilder("local").spec(spec)
+                               .attach_nodes([0]).pf_name("s4"))
+                host = builder.build_host(env=env, wire=wire)
+                machine = host.machine
                 core = machine.cores_on_node(node)[0]
                 workload = TcpStream(host, core, Flow.make(0), 64 * KB,
                                      "rx", duration, warmup_of(duration))

@@ -7,6 +7,7 @@ Examples::
     ioctopus-repro fig06 fig07 --fidelity quick
     ioctopus-repro --all --fidelity quick
     ioctopus-repro obs --workload rr --trace /tmp/rr.json
+    ioctopus-repro ablate --figure fig08 --fidelity quick
 """
 
 from __future__ import annotations
@@ -70,6 +71,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if argv and argv[0] == "fuzz":
         from repro.fuzz.cli import main as fuzz_main
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "ablate":
+        from repro.experiments.ablate import main as ablate_main
+        return ablate_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.jobs is not None or args.cache_dir is not None:
         from repro.experiments.sweep import configure

@@ -15,8 +15,9 @@ see :func:`repro.sim.engine.default_accuracy`):
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Mapping, Optional
 
+from repro.components import SystemConfig
 from repro.core.configurations import Testbed
 from repro.nic.packet import Flow
 from repro.units import gbps
@@ -48,6 +49,18 @@ CONVERGE_REL = 0.005
 
 def warmup_of(duration_ns: int) -> int:
     return int(duration_ns * WARMUP_FRACTION)
+
+
+def system_for(config: str,
+               components: Optional[Mapping[str, bool]] = None,
+               ) -> SystemConfig:
+    """Preset + optional component-override map (the ablation engine
+    passes plain dicts so points stay JSON-serialisable for the sweep
+    cache) as a SystemConfig."""
+    system = SystemConfig(preset=config)
+    for name, enabled in sorted((components or {}).items()):
+        system = system.with_override(name, bool(enabled))
+    return system
 
 
 def run_with_slack(testbed: Testbed, duration_ns: int) -> None:
@@ -158,9 +171,11 @@ def run_tcp_stream(config: str, message_bytes: int, direction: str,
                    duration_ns: int, stream_pairs: int = 0,
                    seed: int = 0,
                    accuracy: Optional[str] = None,
+                   components: Optional[Dict[str, bool]] = None,
                    obs=None) -> Dict[str, float]:
     """One netperf TCP_STREAM point; returns throughput/membw/cpu."""
-    testbed = Testbed(config, seed=seed, accuracy=accuracy)
+    testbed = Testbed(system=system_for(config, components), seed=seed,
+                      accuracy=accuracy)
     if obs is not None:
         obs.attach(testbed, horizon_ns=duration_ns)
     host = testbed.server
@@ -193,9 +208,11 @@ def run_pktgen(config: str, packet_bytes: int, duration_ns: int,
                ring_home_node: Optional[int] = None,
                seed: int = 0,
                accuracy: Optional[str] = None,
+               components: Optional[Dict[str, bool]] = None,
                obs=None) -> Dict[str, float]:
     """One pktgen point."""
-    testbed = Testbed(config, seed=seed, accuracy=accuracy)
+    testbed = Testbed(system=system_for(config, components), seed=seed,
+                      accuracy=accuracy)
     if obs is not None:
         obs.attach(testbed, horizon_ns=duration_ns)
     workload = Pktgen(testbed.server, testbed.server_core(0), packet_bytes,
@@ -221,10 +238,14 @@ def run_pktgen(config: str, packet_bytes: int, duration_ns: int,
 def run_tcp_rr(server_config: str, client_config: str, ddio: bool,
                message_bytes: int, duration_ns: int,
                seed: int = 0, accuracy: Optional[str] = None,
+               components: Optional[Dict[str, bool]] = None,
                obs=None) -> float:
     """One TCP_RR point; returns average RTT in ns."""
-    testbed = Testbed(server_config, client_config=client_config,
-                      ddio=ddio, seed=seed, accuracy=accuracy)
+    system = system_for(server_config, components)
+    if not ddio:
+        system = system.with_override("ddio", False)
+    testbed = Testbed(system=system, client_config=client_config,
+                      seed=seed, accuracy=accuracy)
     if obs is not None:
         obs.attach(testbed, horizon_ns=duration_ns)
     workload = TcpRr(testbed, message_bytes, duration_ns,

@@ -39,6 +39,26 @@ _pool_jobs = 0
 #: startup, pickling, module re-import) than it saves; run them inline.
 MIN_PARALLEL_POINTS = 4
 
+#: Process-wide cache statistics (counted only when a cache dir is
+#: configured): how many points were served from disk vs executed.
+_cache_hits = 0
+_cache_misses = 0
+
+
+def cache_stats() -> Dict[str, int]:
+    """Cache hits/misses since process start (or the last reset), plus
+    the hit rate over all cache lookups."""
+    looked_up = _cache_hits + _cache_misses
+    return {"hits": _cache_hits, "misses": _cache_misses,
+            "lookups": looked_up,
+            "hit_rate": _cache_hits / looked_up if looked_up else 0.0}
+
+
+def reset_cache_stats() -> None:
+    global _cache_hits, _cache_misses
+    _cache_hits = 0
+    _cache_misses = 0
+
 
 def would_parallelize(npoints: int, jobs: Optional[int] = None) -> bool:
     """Whether :func:`sweep_map` would fan ``npoints`` uncached points
@@ -168,6 +188,7 @@ def sweep_map(fn: Callable, points: Sequence[Dict],
     for — including on hosts where the figure sweeps would fall back to
     serial.
     """
+    global _cache_hits, _cache_misses
     jobs = _jobs if jobs is None else jobs
     cache_dir = _cache_dir if cache_dir is None else cache_dir
     fn_path = _fn_path(fn)
@@ -179,8 +200,10 @@ def sweep_map(fn: Callable, points: Sequence[Dict],
             key = _point_key(fn_path, params)
             hit = _cache_load(cache_dir, key)
             if hit is not None:
+                _cache_hits += 1
                 results[index] = hit["result"]
                 continue
+            _cache_misses += 1
         pending.append((index, params, key))
 
     # Fan out only when it can actually win: multiple workers requested,

@@ -21,6 +21,10 @@ The grammar (what a generated case can contain):
 * ``faults``    — 0..:data:`MAX_FAULTS` transient faults drawn from
   :data:`NIC_FAULT_KINDS` / :data:`SSD_FAULT_KINDS`, injected anywhere
   in the first 80% of the run so recoveries land inside the horizon.
+* ``components``— random *off* toggles of fault-safe registry
+  components (:mod:`repro.components`), drawn from their own
+  ``components-{index}`` child stream so every pre-existing corpus
+  entry regenerates byte-identically.
 """
 
 from __future__ import annotations
@@ -28,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.components import fault_safe_component_names
 from repro.faults.plan import FaultPlan, FaultSpec
 from repro.sim.rng import SimRandom
 from repro.units import KB
@@ -49,6 +54,10 @@ MAX_FAULTS = 3
 NIC_FAULT_KINDS = ("pf_down", "pcie_link_down", "pcie_degrade",
                    "wire_loss", "qpi_throttle")
 SSD_FAULT_KINDS = ("pf_down", "pcie_link_down", "pcie_degrade")
+
+#: Per-component chance that a generated case switches one of the
+#: fault-safe registry components off.
+COMPONENT_OFF_PROBABILITY = 0.15
 
 # ---- fleet-case grammar (rack-scale topology cases) -------------------
 #: Workload name of a fleet case.  Deliberately *not* in
@@ -80,6 +89,11 @@ class FuzzCase:
     duration_ns: int
     #: Fault dicts: FaultSpec fields plus a ``target`` ("nic" | "ssd").
     faults: List[Dict] = field(default_factory=list)
+    #: Registry components this case switches *off* (name -> False).
+    #: Restricted to the fault-safe subset: the invariant catalogue's
+    #: expectations (no-reorder, survivable PF faults) assume the
+    #: unsafe components stay at their defaults.
+    components: Dict[str, bool] = field(default_factory=dict)
 
     def __post_init__(self):
         if self.config not in CONFIGS:
@@ -91,6 +105,14 @@ class FuzzCase:
                              f"got {self.workload!r}")
         if self.duration_ns < 100_000:
             raise ValueError(f"duration_ns too short: {self.duration_ns}")
+        safe = set(fault_safe_component_names())
+        for name, enabled in self.components.items():
+            if name not in safe:
+                raise ValueError(f"component toggle {name!r} is not "
+                                 f"fault-safe; allowed: {sorted(safe)}")
+            if enabled is not False:
+                raise ValueError(f"component toggles are off-only, got "
+                                 f"{name}={enabled!r}")
         if self.workload == FLEET_WORKLOAD:
             self._validate_fleet()
             return
@@ -112,6 +134,10 @@ class FuzzCase:
             raise ValueError("fleet cases carry their failure scenario "
                              "in params (server_down / pf_flap), not in "
                              "the device fault list")
+        if self.components:
+            raise ValueError("fleet cases do not carry component "
+                             "toggles (the fleet runner builds stock "
+                             "testbeds)")
         spec = FleetSpec.from_dict(self.params)
         if spec.duration_ns != self.duration_ns:
             raise ValueError(
@@ -124,7 +150,7 @@ class FuzzCase:
     # ----------------------------------------------------- serialization
 
     def to_dict(self) -> Dict:
-        return {
+        data = {
             "case_id": self.case_id,
             "seed": self.seed,
             "config": self.config,
@@ -133,6 +159,11 @@ class FuzzCase:
             "duration_ns": self.duration_ns,
             "faults": [dict(f) for f in self.faults],
         }
+        # Omitted when empty so pre-component corpus files round-trip
+        # byte-identically.
+        if self.components:
+            data["components"] = dict(self.components)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "FuzzCase":
@@ -140,7 +171,8 @@ class FuzzCase:
                    config=data["config"], workload=data["workload"],
                    params=dict(data["params"]),
                    duration_ns=data["duration_ns"],
-                   faults=[dict(f) for f in data.get("faults", [])])
+                   faults=[dict(f) for f in data.get("faults", [])],
+                   components=dict(data.get("components", {})))
 
     # ----------------------------------------------------------- queries
 
@@ -169,8 +201,9 @@ class FuzzCase:
         faults = "; ".join(
             f"{f['target']}:{self._spec_of(f).describe()}"
             for f in self.faults) or "no faults"
+        off = "".join(f" -{name}" for name in sorted(self.components))
         return (f"{self.case_id}: {self.config}/{self.workload} "
-                f"{self.duration_ns}ns [{faults}]")
+                f"{self.duration_ns}ns [{faults}]{off}")
 
 
 # ------------------------------------------------------------- generation
@@ -240,10 +273,17 @@ def generate_case(master_seed: int, index: int) -> FuzzCase:
     nfaults = rng.randint(0, MAX_FAULTS)
     faults = [_random_fault(rng, duration_ns, has_nvme, config)
               for _ in range(nfaults)]
+    # Component off-toggles draw from their own child stream — disjoint
+    # from ``case-{index}`` above — so the core draws (and with them
+    # every committed corpus entry) stay byte-identical.
+    crng = SimRandom(master_seed, name="fuzz").child(f"components-{index}")
+    components = {name: False for name in fault_safe_component_names()
+                  if crng.random() < COMPONENT_OFF_PROBABILITY}
     return FuzzCase(case_id=f"s{master_seed}-c{index}",
                     seed=master_seed * 1_000_003 + index,
                     config=config, workload=workload, params=params,
-                    duration_ns=duration_ns, faults=faults)
+                    duration_ns=duration_ns, faults=faults,
+                    components=components)
 
 
 def generate_fleet_case(master_seed: int, index: int) -> FuzzCase:

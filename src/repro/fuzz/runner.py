@@ -20,14 +20,12 @@ import json
 import re
 from typing import Dict, List, Optional
 
-from repro.core.configurations import Testbed
-from repro.experiments.runners import warmup_of
+from repro.core.configurations import Testbed, attach_octossd
+from repro.experiments.runners import system_for, warmup_of
 from repro.faults.injector import FaultInjector
 from repro.fuzz.case import FuzzCase
 from repro.nic.packet import Flow
-from repro.nvme.device import NvmeController
 from repro.nvme.driver import NvmeDriver
-from repro.pcie.fabric import bifurcate
 from repro.sim.errors import SimulationError
 from repro.sim.rng import SimRandom
 from repro.units import KB
@@ -45,7 +43,8 @@ _RESIDUAL = re.compile(r"residual=(\d+)")
 # ----------------------------------------------------------------- build
 
 def _build(case: FuzzCase, accuracy: str, trace: bool):
-    testbed = Testbed(case.config, seed=case.seed, accuracy=accuracy)
+    testbed = Testbed(system=system_for(case.config, case.components),
+                      seed=case.seed, accuracy=accuracy)
     if trace:
         for machine in (testbed.server.machine, testbed.client.machine):
             machine.tracer.enabled = True
@@ -58,13 +57,10 @@ def _build(case: FuzzCase, accuracy: str, trace: bool):
     params = case.params
 
     if case.has_nvme:
-        machine = server.machine
-        attach = [0, 1] if case.config == "ioctopus" else [0]
-        nvme_ctrl = NvmeController(
-            machine, bifurcate(machine, 8 * len(attach), attach,
-                               name="fuzz-ssd"), name="fuzz-ssd")
-        nvme_driver = NvmeDriver(machine, nvme_ctrl,
-                                 octo_mode=case.config == "ioctopus")
+        octo = case.config == "ioctopus"
+        nvme_ctrl = attach_octossd(server.machine, octo, name="fuzz-ssd")
+        nvme_driver = NvmeDriver(server.machine, nvme_ctrl,
+                                 octo_mode=octo)
 
     if case.workload == "pktgen":
         workloads["pktgen"] = Pktgen(

@@ -3,12 +3,13 @@
 Greedy delta-debugging over the case structure.  Candidate edits, in
 order of how much they simplify the repro:
 
-1. drop one fault entirely;
-2. halve one fault's duration;
-3. halve the case duration (faults clipped to stay inside it);
-4. replace the workload with a simpler one (colocated/memcached/tcp_rr
+1. re-enable one switched-off registry component;
+2. drop one fault entirely;
+3. halve one fault's duration;
+4. halve the case duration (faults clipped to stay inside it);
+5. replace the workload with a simpler one (colocated/memcached/tcp_rr
    collapse toward a single TCP_STREAM flow);
-5. reduce traffic (fewer fio threads / memcached workers, shallower
+6. reduce traffic (fewer fio threads / memcached workers, shallower
    iodepth).
 
 Fleet topology cases shrink along their own axes instead: drop the
@@ -117,6 +118,14 @@ def candidates(case: Dict) -> Iterator[Dict]:
     if case["workload"] == "fleet":
         yield from _fleet_candidates(case)
         return
+    # Re-enabling one switched-off component simplifies the repro as
+    # much as dropping a fault does: it removes a whole mechanism delta.
+    for name in sorted(case.get("components", {})):
+        cand = copy.deepcopy(case)
+        del cand["components"][name]
+        if not cand["components"]:
+            del cand["components"]
+        yield cand
     for i in range(len(case["faults"])):
         cand = copy.deepcopy(case)
         del cand["faults"][i]

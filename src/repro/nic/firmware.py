@@ -46,6 +46,19 @@ class BaseFirmware:
         #: Bumped on firmware-level steering state changes (PF liveness,
         #: default-queue registration); part of every cache stamp.
         self._fw_version = 0
+        #: MPFS hardware fast-failover (§4.2): whether the switch may
+        #: steer around a dead PF on its own.  The ``mpfs_fast_failover``
+        #: component toggles this; standard firmware never consults it
+        #: (a MAC-keyed MPFS has nowhere else to deliver).
+        self.fast_failover = True
+
+    def configure_fast_failover(self, enabled: bool) -> None:
+        """Set the MPFS fast-failover capability, invalidating the steer
+        memo if the setting actually changes (a cached resolution may
+        have been made under the other policy)."""
+        if enabled != self.fast_failover:
+            self.fast_failover = enabled
+            self._fw_version += 1
 
     def register_default_queues(self, pf_id: int, queues: list) -> None:
         self._default_queues[pf_id] = list(queues)
@@ -202,6 +215,13 @@ class OctoFirmware(BaseFirmware):
             rule.last_hit_at = now
             pf_id = rule.target
         if not self._pf_alive[pf_id]:
+            if not self.fast_failover:
+                # Fast-failover ablated: the flow-keyed MPFS behaves as
+                # rigidly as the MAC-keyed one — packets for a dead PF
+                # have nowhere to land until the driver re-points them.
+                raise DeviceGoneError(
+                    f"octoNIC: PF {pf_id} is gone and MPFS fast-failover "
+                    f"is disabled")
             # The MPFS is one switch in front of *all* PFs: it can steer
             # around a dead one in hardware, landing the flow on a
             # surviving PF's tables until the driver re-points the rule.

@@ -101,7 +101,7 @@ class StandardDriver(NetDriver):
             self.device.firmware.arfs_update(self.pf_id, flow, new_queue,
                                              now=self.env.now)
 
-        if immediate or old_queue is None:
+        if immediate or old_queue is None or not self.no_reorder_resteer:
             apply()
             self.steering_updates += 1
         else:

@@ -76,6 +76,13 @@ class NetworkStack:
         self.scheduler = scheduler
         self.costs = machine.spec.software
         self.memory = machine.memory
+        #: ARFS migration callbacks (the ``arfs_migration`` component):
+        #: off, a migrated thread's flows keep landing on the old core's
+        #: Rx queue — the pre-ARFS Linux behaviour.
+        self.arfs_enabled = True
+        #: XPS re-pointing (the ``xps`` component): off, sockets keep
+        #: transmitting through the queue of the core they started on.
+        self.xps_enabled = True
         self._sockets_by_thread: Dict[SimThread, List[Socket]] = {}
         #: Every socket ever opened on this stack, closed ones included
         #: (the fuzz invariants sum per-socket ledgers over the full run).
@@ -101,9 +108,11 @@ class NetworkStack:
     def _on_migration(self, thread: SimThread, old_core, new_core) -> None:
         for sock in self._sockets_by_thread.get(thread, []):
             # Rx: deferred-until-drained ARFS (and IOctoRFS) update.
-            sock.driver.steer_rx(sock.flow, new_core)
+            if self.arfs_enabled:
+                sock.driver.steer_rx(sock.flow, new_core)
             # Tx: XPS re-points the socket once ooo_okay allows it.
-            if sock.tx_queue.ooo_okay or sock.tx_queue.is_drained():
+            if self.xps_enabled and (sock.tx_queue.ooo_okay
+                                     or sock.tx_queue.is_drained()):
                 sock.tx_queue = sock.driver.tx_queue_for_core(new_core)
             # The app buffer stays where it was allocated (first-touch);
             # only cache residency migrates, which the LLC model handles.

@@ -333,6 +333,11 @@ class Environment:
         #: retraining).  The fluid tier folds this into its steady tokens
         #: so any rate change invalidates every in-flight steady interval.
         self.rate_epoch = 0
+        #: The ``train_coalescing`` component: when cleared,
+        #: :func:`repro.workloads.train.make_governor` hands out
+        #: governors that never coalesce (inert in exact mode, where
+        #: trains never form anyway).
+        self.train_coalescing = True
         #: Wall span (ns) of the steady interval currently being charged,
         #: or 0 outside one.  Set by FluidRegion.interval(); bandwidth
         #: servers and rate estimators treat charges landing while it is

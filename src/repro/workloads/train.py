@@ -278,7 +278,14 @@ class FluidGovernor(TrainGovernor):
 def make_governor(env) -> TrainGovernor:
     """The per-flow governor matching the environment's accuracy mode
     (exact mode constructs one too, but never plans k > 1 because the
-    workloads only consult it when ``env.adaptive``)."""
+    workloads only consult it when ``env.adaptive``).
+
+    The ``train_coalescing`` component clears ``env.train_coalescing``:
+    the governor then never coalesces (max one burst per train), which
+    in the adaptive/fluid tiers reverts every flow to per-burst events
+    — and is inert in exact mode, where trains never form anyway."""
+    if not getattr(env, "train_coalescing", True):
+        return TrainGovernor(max_bursts=1)
     if getattr(env, "fluid", False):
         return FluidGovernor(fluid_region(env))
     return TrainGovernor()

@@ -1,0 +1,113 @@
+"""SystemConfig: frozen value semantics, run IDs, matrices."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.components import (
+    SystemConfig,
+    as_system_config,
+    component_names,
+    loo_matrix,
+)
+
+
+def test_default_config_is_ioctopus_with_no_overrides():
+    config = SystemConfig()
+    assert config.preset == "ioctopus"
+    assert config.overrides == ()
+    assert config.is_default()
+    assert config.label() == "ioctopus"
+
+
+def test_hashable_and_value_equal():
+    a = SystemConfig("remote", (("ddio", False), ("xps", False)))
+    b = SystemConfig("remote", (("xps", False), ("ddio", False)))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+
+
+def test_invalid_preset_and_overrides_rejected():
+    with pytest.raises(ValueError):
+        SystemConfig("sideways")
+    with pytest.raises(ValueError):
+        SystemConfig("local", (("warp_drive", False),))
+    with pytest.raises(ValueError):
+        SystemConfig("local", (("ddio", False), ("ddio", True)))
+    with pytest.raises(ValueError):
+        SystemConfig("local", (("ddio", 0),))
+
+
+def test_without_and_enabled():
+    config = SystemConfig("ioctopus").without("ddio")
+    assert not config.enabled("ddio")
+    assert config.enabled("xps")
+    assert config.disabled_components() == ("ddio",)
+    assert config.label() == "ioctopus-ddio"
+
+
+def test_round_trips_through_dict():
+    config = SystemConfig("remote").without("xps", "ddio")
+    again = SystemConfig.from_dict(config.to_dict())
+    assert again == config
+    assert as_system_config(config.to_dict()) == config
+
+
+def test_as_system_config_coercions():
+    assert as_system_config(None) == SystemConfig()
+    assert as_system_config("remote").preset == "remote"
+    config = SystemConfig("local")
+    assert as_system_config(config) is config
+    with pytest.raises(TypeError):
+        as_system_config(42)
+
+
+def test_run_id_is_content_hash():
+    a = SystemConfig("ioctopus").without("ddio")
+    b = SystemConfig("ioctopus", (("ddio", False),))
+    assert a.run_id() == b.run_id()
+    assert a.run_id() != SystemConfig("ioctopus").run_id()
+    assert a.run_id() != SystemConfig("remote").without("ddio").run_id()
+
+
+def test_run_ids_stable_across_processes():
+    """Another interpreter generating the same leave-one-out matrix must
+    produce the same run IDs (no hash randomisation, no process state)."""
+    matrix = loo_matrix(SystemConfig("ioctopus"))
+    script = (
+        "import json\n"
+        "from repro.components import SystemConfig, loo_matrix\n"
+        "ids = [c.run_id() for c in loo_matrix(SystemConfig('ioctopus'))]\n"
+        "print(json.dumps(ids))\n")
+    out = subprocess.run([sys.executable, "-c", script],
+                         capture_output=True, text=True, check=True)
+    assert json.loads(out.stdout) == [c.run_id() for c in matrix]
+
+
+def test_loo_matrix_shape():
+    base = SystemConfig("ioctopus")
+    matrix = loo_matrix(base)
+    n = len(component_names())
+    assert len(matrix) == 1 + n
+    assert matrix[0] == base
+    assert all(len(c.disabled_components()) == 1 for c in matrix[1:])
+
+
+def test_loo_matrix_pairwise_and_subset():
+    base = SystemConfig("ioctopus")
+    matrix = loo_matrix(base, names=["ddio", "xps", "arfs_migration"],
+                        pairwise=True)
+    assert len(matrix) == 1 + 3 + 3
+    pairs = [c for c in matrix if len(c.disabled_components()) == 2]
+    assert len(pairs) == 3
+
+
+def test_loo_matrix_skips_already_off_components():
+    base = SystemConfig("ioctopus").without("ddio")
+    matrix = loo_matrix(base)
+    # ddio is already off under the base: no extra row for it.
+    assert len(matrix) == len(component_names())
+    assert all("ddio" in c.disabled_components() for c in matrix)

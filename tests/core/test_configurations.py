@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core import CONFIGS, Testbed
+from repro.components import SystemConfig
+from repro.core import CONFIGS, Testbed, TestbedBuilder
 from repro.core.teaming import OctoTeamDriver
 from repro.os_model.driver import StandardDriver
 
@@ -63,9 +64,38 @@ def test_client_is_single_pf_local():
 
 
 def test_ddio_flag_disables_both_machines():
-    testbed = Testbed("local", ddio=False)
+    with pytest.deprecated_call():
+        testbed = Testbed("local", ddio=False)
     assert not testbed.server.machine.memory.ddio_enabled
     assert not testbed.client.machine.memory.ddio_enabled
+
+
+def test_ddio_shim_is_equivalent_to_system_config():
+    with pytest.deprecated_call():
+        shimmed = Testbed("local", ddio=False)
+    explicit = Testbed(system=SystemConfig("local").without("ddio"))
+    assert shimmed.system == explicit.system
+
+
+def test_default_ddio_emits_no_warning(recwarn):
+    Testbed("local")
+    assert not [w for w in recwarn.list
+                if issubclass(w.category, DeprecationWarning)]
+
+
+def test_testbed_accepts_system_config():
+    system = SystemConfig("remote").without("xps")
+    testbed = Testbed(system)
+    assert testbed.system == system
+    assert testbed.config == "remote"
+    assert not testbed.server.stack.xps_enabled
+    # The keyword spelling is equivalent.
+    assert Testbed(system=system).system == system
+
+
+def test_testbed_rejects_config_and_system_together():
+    with pytest.raises(ValueError):
+        Testbed("local", system=SystemConfig("remote"))
 
 
 def test_machines_share_one_clock():
@@ -74,3 +104,52 @@ def test_machines_share_one_clock():
     testbed.run(1000)
     assert testbed.server.machine.now == 1000
     assert testbed.client.machine.now == 1000
+
+
+# ------------------------------------------------------------- builder
+
+def test_builder_build_matches_testbed_ctor():
+    built = TestbedBuilder("remote").seed(5).build()
+    direct = Testbed("remote", seed=5)
+    assert built.system == direct.system
+    assert built.config == direct.config
+    nodes = [pf.attach_node for pf in built.server.nic.pfs]
+    assert nodes == [pf.attach_node for pf in direct.server.nic.pfs]
+
+
+def test_builder_single_host_octo_defaults():
+    host = TestbedBuilder("ioctopus").build_host()
+    assert len(host.nic.pfs) == 2
+    assert isinstance(host.driver, OctoTeamDriver)
+    assert host.wiring == "bifurcation"
+    assert host.wiring_lanes == 16
+    assert host.wiring_power_w == 0.0
+
+
+def test_builder_switch_wiring_costs_lanes_and_power():
+    host = (TestbedBuilder("ioctopus").wiring("switch")
+            .pf_name("octo").build_host())
+    assert host.wiring == "switch"
+    assert host.wiring_lanes > 16
+    assert host.wiring_power_w > 0.0
+    assert len(host.nic.pfs) == 2
+
+
+def test_builder_standard_single_pf_host():
+    host = (TestbedBuilder("local").attach_nodes([0]).pf_name("s")
+            .build_host())
+    assert len(host.nic.pfs) == 1
+    assert isinstance(host.driver, StandardDriver)
+
+
+def test_builder_applies_components_to_single_host():
+    host = (TestbedBuilder(SystemConfig("ioctopus").without("ddio"))
+            .build_host())
+    assert not host.machine.memory.ddio_enabled
+
+
+def test_builder_validates_knobs():
+    with pytest.raises(ValueError):
+        TestbedBuilder("ioctopus").wiring("string-and-cans")
+    with pytest.raises(ValueError):
+        TestbedBuilder("ioctopus").client_config("weird")

@@ -81,3 +81,60 @@ def test_malformed_cases_rejected(patch):
     data.update(patch)
     with pytest.raises(ValueError):
         FuzzCase.from_dict(data)
+
+
+# ------------------------------------------------- component toggles
+
+def test_component_toggles_draw_from_their_own_stream():
+    # Stripping the toggles from a generated case must reproduce the
+    # exact pre-toggle grammar: the draws live in a separate
+    # ``components-{index}`` child stream, so config/workload/params/
+    # faults are untouched by their introduction.
+    for index in range(30):
+        case = generate_case(11, index).to_dict()
+        case.pop("components", None)
+        again = generate_case(11, index).to_dict()
+        again.pop("components", None)
+        assert case == again
+
+
+def test_some_cases_carry_off_toggles_all_fault_safe():
+    from repro.components import fault_safe_component_names
+    safe = set(fault_safe_component_names())
+    seen = {}
+    for index in range(80):
+        for name, enabled in generate_case(0, index).components.items():
+            assert name in safe
+            assert enabled is False
+            seen[name] = enabled
+    assert seen  # the axis actually fires at 15% per component
+
+
+def test_component_toggle_validation():
+    base = generate_case(0, 0).to_dict()
+    for components in ({"no_reorder_resteer": False},   # not fault-safe
+                       {"mystery_knob": False},         # unknown
+                       {"ddio": True}):                 # on-toggle
+        data = dict(base, components=components)
+        with pytest.raises(ValueError):
+            FuzzCase.from_dict(data)
+
+
+def test_components_key_omitted_when_empty_and_round_trips():
+    case = generate_case(0, 0)
+    bare = FuzzCase.from_dict(dict(case.to_dict(), components={}))
+    assert "components" not in bare.to_dict()
+    toggled = FuzzCase.from_dict(dict(case.to_dict(),
+                                      components={"ddio": False}))
+    assert toggled.to_dict()["components"] == {"ddio": False}
+    assert FuzzCase.from_dict(toggled.to_dict()).components == \
+        {"ddio": False}
+    assert " -ddio" in toggled.describe()
+
+
+def test_fleet_cases_reject_component_toggles():
+    from repro.fuzz.case import generate_fleet_case
+    fleet = generate_fleet_case(0, 0).to_dict()
+    fleet["components"] = {"ddio": False}
+    with pytest.raises(ValueError):
+        FuzzCase.from_dict(fleet)

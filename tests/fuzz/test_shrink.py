@@ -105,3 +105,20 @@ def test_generated_cases_shrink_too():
             assert len(minimal["faults"]) <= 2
             return
     raise AssertionError("no seed-0 case fired a pf-level fault")
+
+
+def test_component_reenable_candidates_come_first():
+    case = multi_fault_case()
+    case["components"] = {"ddio": False, "xps": False}
+    cands = list(candidates(case))
+    # The first candidates re-enable one toggle each, leaving the rest
+    # of the case untouched.
+    assert cands[0]["components"] == {"xps": False}
+    assert cands[1]["components"] == {"ddio": False}
+    for cand in cands[:2]:
+        assert cand["faults"] == case["faults"]
+        FuzzCase.from_dict(cand)
+    # A single remaining toggle shrinks to no components key at all.
+    case["components"] = {"ddio": False}
+    first = next(iter(candidates(case)))
+    assert "components" not in first
