@@ -302,6 +302,83 @@ def bench_obs_pair(kind: str = "pktgen", config: str = "remote",
     return pair
 
 
+def bench_blame_pair(kind: str = "pktgen", config: str = "remote",
+                     duration_ns: int = ENGINE_DURATION_NS,
+                     repeats: int = 5) -> Dict:
+    """Cost of latency-blame attribution on one seeded engine point.
+
+    Two legs per round, paired like :func:`bench_obs_pair`: ``off`` (no
+    ObsSession) and ``blame`` (``ObsSession(enabled=True, blame=True)``
+    attached — stage charges and conservation checks on sealed flows,
+    but no trace records).  The gate follows the obs-pair split between
+    deterministic and timing measurements:
+
+    * **Deterministic**: the event stream must be bit-identical (blame
+      reads, never schedules), every sealed flow must conserve, and the
+      burst-path sampling contract must hold — ``Tracer.begin_blame``
+      admits at most ``ceil(candidates / blame_stride)`` flows, which
+      is what structurally bounds per-burst attribution cost.
+    * **Timing**: the median paired wall ratio, informational while the
+      sampling contract holds (shared hosts drift more than the 2%
+      ceiling between rounds); :func:`check_regression` enforces
+      :data:`OBS_OVERHEAD_CEILING` against it when the deterministic
+      check shows *unsampled* blame work on the hot path.
+    """
+    from statistics import median
+
+    from repro.obs import ObsSession
+
+    legs = {"off": {"events": 0, "wall_s": float("inf")},
+            "blame": {"events": 0, "wall_s": float("inf")}}
+    ratios = []
+    conservation_ok = True
+    flows = candidates = stride = 0
+    for round_no in range(repeats):
+        elapsed = {}
+        order = (("off", "blame") if round_no % 2 == 0
+                 else ("blame", "off"))
+        for leg in order:
+            testbed = Testbed(config, seed=0, accuracy="exact")
+            _engine_workload(kind, testbed, duration_ns)
+            obs = None
+            if leg == "blame":
+                # No horizon => no sampler: the blame leg must keep the
+                # event stream identical to ``off`` for events_match.
+                obs = ObsSession(enabled=True, blame=True)
+                obs.attach(testbed)
+            start = time.perf_counter()
+            testbed.run(duration_ns + duration_ns // 5)
+            elapsed[leg] = time.perf_counter() - start
+            cell = legs[leg]
+            cell["events"] = testbed.env.events_processed
+            if elapsed[leg] < cell["wall_s"]:
+                cell["wall_s"] = elapsed[leg]
+            if obs is not None:
+                conservation_ok = (conservation_ok
+                                   and obs.blame.conservation_ok)
+                flows = obs.blame.domain("flow").flows
+                candidates = obs.tracer._blame_seen
+                stride = obs.tracer.blame_stride
+        ratios.append(elapsed["blame"] / elapsed["off"] - 1.0)
+    for cell in legs.values():
+        wall = cell["wall_s"]
+        cell["wall_s"] = round(wall, 4)
+        cell["events_per_sec"] = int(cell["events"] / wall) if wall else 0
+    return {
+        "kind": kind,
+        "config": config,
+        "off": legs["off"],
+        "blame": legs["blame"],
+        "blame_overhead": round(median(ratios), 5),
+        "events_match": legs["off"]["events"] == legs["blame"]["events"],
+        "conservation_ok": conservation_ok,
+        "flows": flows,
+        "candidates": candidates,
+        "stride": stride,
+        "sampling_ok": flows <= -(-candidates // max(1, stride)),
+    }
+
+
 def _disabled_leg_obs_work(kind: str, config: str,
                            duration_ns: int = 20_000_000) -> Dict:
     """Deterministic half of the obs gate: does a disabled ObsSession do
@@ -502,6 +579,7 @@ def run_bench(fidelity: str = "quick", jobs: int = 4) -> Dict:
     adaptive = bench_adaptive_pair()
     accuracy = bench_accuracy_triple()
     obs = bench_obs_pair()
+    blame = bench_blame_pair()
     fleet = bench_fleet(jobs=jobs)
     ablation = bench_ablation_cache()
     figures = {name: _figure_bench(name, fidelity, jobs)
@@ -519,6 +597,7 @@ def run_bench(fidelity: str = "quick", jobs: int = 4) -> Dict:
         "adaptive": adaptive,
         "accuracy": accuracy,
         "obs": obs,
+        "blame": blame,
         "fleet": fleet,
         "ablation": ablation,
         "figures": figures,
@@ -597,6 +676,33 @@ def check_regression(current: Dict, baseline: Dict,
                 f"{overhead:.2%} > {OBS_OVERHEAD_CEILING:.0%} ceiling "
                 f"({obs['disabled']['events_per_sec']} vs "
                 f"{obs['off']['events_per_sec']} ev/s)")
+    # Absolute gate, read from the current report: blame-enabled runs
+    # must keep the event stream bit-identical (blame is read-only) and
+    # conserve stage charges on every sealed flow.  Attribution cost is
+    # bounded structurally by the begin_blame stride-sampling contract;
+    # like the disabled-obs gate, the noisy wall-clock ratio is only
+    # enforced against OBS_OVERHEAD_CEILING when the deterministic
+    # check shows unsampled blame work on the hot path.
+    blame = current.get("blame")
+    if blame is not None:
+        if not blame.get("events_match", True):
+            failures.append(
+                "blame: attaching a blame session changed the simulated "
+                "event stream (off vs blame event counts differ)")
+        if not blame.get("conservation_ok", True):
+            failures.append(
+                "blame: stage charges failed the stage-sum == "
+                "end-to-end conservation check")
+        overhead = blame.get("blame_overhead", 0.0)
+        if not blame.get("sampling_ok", True) \
+                and overhead > OBS_OVERHEAD_CEILING:
+            failures.append(
+                f"blame: burst sampling broken ({blame['flows']} flows "
+                f"from {blame['candidates']} candidates at stride "
+                f"{blame['stride']}) and attribution costs "
+                f"{overhead:.2%} > {OBS_OVERHEAD_CEILING:.0%} ceiling "
+                f"({blame['blame']['events_per_sec']} vs "
+                f"{blame['off']['events_per_sec']} ev/s)")
     # Fleet gates.  The fingerprint cross-check and the efficiency floor
     # read only the current report (machine-independent / host-gated);
     # the serial wall regresses against the baseline like the figures.
@@ -692,6 +798,16 @@ def format_report(report: Dict) -> str:
             f"{'match' if obs.get('events_match') else 'DIFFER'})  "
             f"enabled {obs['enabled_overhead']:+.2%}  "
             f"(off {obs['off']['events_per_sec']} ev/s)")
+    blame = report.get("blame")
+    if blame:
+        lines.append(
+            f"  blame  {blame['kind']}_{blame['config']}    "
+            f"overhead {blame['blame_overhead']:+.2%}  "
+            f"({blame['flows']}/{blame['candidates']} flows sampled "
+            f"at stride {blame['stride']}, conservation "
+            f"{'ok' if blame.get('conservation_ok') else 'VIOLATED'}, "
+            f"events "
+            f"{'match' if blame.get('events_match') else 'DIFFER'})")
     fleet = report.get("fleet")
     if fleet:
         marker = ("  (serial fallback)" if fleet.get("serial_fallback")

@@ -39,13 +39,21 @@ def fleet_parallel_when(npoints: int, jobs: int) -> bool:
 def run_fleet(spec: Union[FleetSpec, dict], master_seed: int = 0,
               accuracy: Optional[str] = None,
               jobs: Optional[int] = None,
-              cache_dir: Optional[str] = None) -> FleetResult:
-    """Simulate the whole fleet and merge the per-server shards."""
+              cache_dir: Optional[str] = None,
+              blame: bool = False) -> FleetResult:
+    """Simulate the whole fleet and merge the per-server shards.
+
+    ``blame=True`` ships a transaction-domain blame shard per server
+    (merged into ``FleetResult.blame``); opt-in because it changes the
+    shard payloads and hence the fleet fingerprint."""
     if isinstance(spec, dict):
         spec = FleetSpec.from_dict(spec)
     points = [dict(server_id=server, spec=spec.to_dict(),
                    master_seed=master_seed, accuracy=accuracy)
               for server in range(spec.servers)]
+    if blame:
+        for point in points:
+            point["blame"] = True
     shards = sweep_map(run_fleet_server, points, jobs=jobs,
                        cache_dir=cache_dir,
                        parallel_when=fleet_parallel_when)

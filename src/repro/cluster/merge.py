@@ -37,6 +37,11 @@ class FleetResult:
         self.servers = sorted(servers, key=lambda s: s["server"])
         self.digest = LatencyDigest()
         self.epoch_digests: Dict[int, LatencyDigest] = {}
+        #: Fleet-wide blame (None unless the shards ran with blame=True):
+        #: per-domain digests and tail maps merge by addition, exactly
+        #: like the latency digests, so fleet-wide p99 blame is as
+        #: order-independent as the fleet percentiles.
+        self.blame = None
         for shard in self.servers:
             self.digest.merge(LatencyDigest.from_dict(shard["digest"]))
             for key, data in shard["epoch_digests"].items():
@@ -44,6 +49,12 @@ class FleetResult:
                 merged = self.epoch_digests.setdefault(epoch,
                                                        LatencyDigest())
                 merged.merge(LatencyDigest.from_dict(data))
+            blame_data = shard.get("blame")
+            if blame_data:
+                from repro.obs.blame import BlameCollector
+                if self.blame is None:
+                    self.blame = BlameCollector()
+                self.blame.merge(BlameCollector.from_dict(blame_data))
 
     # ----------------------------------------------------------- counters
 
@@ -78,6 +89,14 @@ class FleetResult:
     def percentile(self, p: float) -> int:
         """Fleet-wide latency percentile over every served transaction."""
         return self.digest.percentile(p)
+
+    def blame_report(self, domain: str = "txn") -> Dict:
+        """Fleet-wide per-stage blame (queue wait vs service time for
+        the transaction domain) over the merged shards."""
+        if self.blame is None:
+            raise ValueError("fleet ran without blame=True shards")
+        from repro.obs.blame import build_report
+        return build_report(self.blame, domain=domain)
 
     def epoch_percentile(self, epoch: int, p: float) -> Optional[int]:
         digest = self.epoch_digests.get(epoch)

@@ -97,8 +97,14 @@ class ServerPlan:
 
 def run_fleet_server(server_id: int, spec: Union[FleetSpec, Dict],
                      master_seed: int = 0,
-                     accuracy: Optional[str] = None) -> Dict:
-    """Simulate one fleet server end to end; plain-JSON result."""
+                     accuracy: Optional[str] = None,
+                     blame: bool = False) -> Dict:
+    """Simulate one fleet server end to end; plain-JSON result.
+
+    ``blame=True`` additionally ships the server's transaction-domain
+    latency-blame shard (queue wait vs service time) for the fleet-wide
+    merge.  It is opt-in because the extra ``blame`` key changes the
+    shard payload — and therefore the fleet fingerprint."""
     if isinstance(spec, dict):
         spec = FleetSpec.from_dict(spec)
     plan = ServerPlan(spec, server_id, master_seed)
@@ -123,7 +129,7 @@ def run_fleet_server(server_id: int, spec: Union[FleetSpec, Dict],
                                  rng=host.machine.rng)
         injector.start()
 
-    obs = ObsSession(enabled=True)
+    obs = ObsSession(enabled=True, blame=blame)
     obs.attach(testbed, horizon_ns=spec.duration_ns)
 
     horizon = spec.duration_ns + spec.duration_ns // SLACK_DIVISOR
@@ -135,7 +141,7 @@ def run_fleet_server(server_id: int, spec: Union[FleetSpec, Dict],
 
     served = workload.served
     digest = workload.digest()
-    return {
+    shard = {
         "server": server_id,
         "config": spec.config,
         "died_at": plan.death,
@@ -157,3 +163,6 @@ def run_fleet_server(server_id: int, spec: Union[FleetSpec, Dict],
                     obs.sampler.counter_tracks().items()}
                    if obs.sampler is not None else {}),
     }
+    if blame:
+        shard["blame"] = obs.blame.to_dict()
+    return shard

@@ -184,8 +184,18 @@ class FleetServerWorkload(Workload):
                             SLOW_HOLD_CAP_NS)
                     busy = max(cpu, dev)
                     done_at = now + busy
+                    blame = machine.tracer.blame
                     for arrival, epoch in batch:
                         self._digest(epoch).record(done_at - arrival)
+                        if blame is not None:
+                            # Transaction-domain blame: the time before
+                            # the worker picked the request up is queue
+                            # wait, the batch's busy span is service —
+                            # exactly done_at - arrival, so the fleet's
+                            # txn domain conserves like the flow domain.
+                            blame.add({"queue.wait": now - arrival,
+                                       "app.service": busy},
+                                      done_at - arrival, domain="txn")
                     self.served += n
                     if now < self.duration_ns:
                         self.meter.record(n * self.value_bytes, n)

@@ -36,8 +36,13 @@ class DoorbellPath:
         cost = times * queue.pf.mmio_latency(from_node)
         flow = self.machine.tracer.active_flow
         if flow is not None:
+            stage = None
+            if self.machine.tracer.blame is not None:
+                loc = "local" if queue.pf.is_local_to(from_node) else "qpi"
+                stage = f"doorbell.{loc}"
             flow.step(f"{queue.pf.name}.mmio", "doorbell.ring", cost,
-                      {"times": times, "from_node": from_node})
+                      {"times": times, "from_node": from_node},
+                      stage=stage)
         return cost
 
 
@@ -61,8 +66,13 @@ class CompletionPath:
         cost = queue.pf.dma_write(queue.ring, ndesc * CACHELINE)
         flow = self.machine.tracer.active_flow
         if flow is not None:
+            stage = None
+            if self.machine.tracer.blame is not None:
+                loc = ("local" if queue.pf.is_local_to(queue.node_id)
+                       else "qpi")
+                stage = f"dma.{loc}"
             flow.step(f"{queue.pf.name}.dma", "cq.write_back", cost,
-                      {"ndesc": ndesc})
+                      {"ndesc": ndesc}, stage=stage)
         return cost
 
     # ------------------------------------------------------- host side
@@ -71,11 +81,18 @@ class CompletionPath:
         """CPU ns to read ``ndesc`` completion entries on ``node``
         (poll-mode consumption; DDIO decides hit or miss)."""
         self.entries += ndesc
-        cost = ndesc * queue.completion_read_ns(node)
         flow = self.machine.tracer.active_flow
+        stage = None
+        if flow is not None and self.machine.tracer.blame is not None:
+            # Classify *before* the charged read flips counters: DDIO
+            # hit vs miss (remote-LLC forward / DRAM / remote DRAM).
+            tag = self.machine.memory.dma_read_class(node, queue.ring)
+            stage = "cq.hit" if tag == "ddio_hit" else "cq.miss"
+        cost = ndesc * queue.completion_read_ns(node)
         if flow is not None:
             flow.step(f"core{node}.cq", "cq.consume", cost,
-                      {"ndesc": ndesc, "via": queue.pf.name})
+                      {"ndesc": ndesc, "via": queue.pf.name},
+                      stage=stage)
         return cost
 
     def interrupt(self, queue, nper_burst: int, nbursts: int,
@@ -89,6 +106,8 @@ class CompletionPath:
         cost = interrupts * self.irq_ns
         flow = self.machine.tracer.active_flow
         if flow is not None and interrupts:
+            # Moderated delivery: the coalescing budget holds completions
+            # back, so the charge per train is what survives the hold.
             flow.step(f"core{queue.node_id}.irq", "irq.deliver", cost,
-                      {"interrupts": interrupts})
+                      {"interrupts": interrupts}, stage="irq.hold")
         return cost

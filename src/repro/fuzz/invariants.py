@@ -22,6 +22,11 @@ list means the invariant held.  The catalogue:
   every trace flow is well-formed.
 * ``replay``    — (harness-level, in :func:`repro.fuzz.runner.run_case`)
   running the same case twice gives byte-identical observations.
+* ``blame_conservation`` — (harness-level) the case re-runs with a
+  latency-blame collector attached: every sealed flow's stage charges
+  must sum to its end-to-end latency exactly, and attaching blame must
+  not perturb the observation fingerprint (observability stays
+  read-only).
 * ``agreement`` — (harness-level) exact and each fast accuracy tier
   (adaptive and fluid) agree on
   every primary metric within tolerance.  Only checked for cases whose
@@ -174,11 +179,12 @@ INVARIANTS: Dict[str, Callable[[Dict, Dict], List[str]]] = {
 }
 
 #: Harness-level invariants needing extra executions (see runner).
-EXECUTION_INVARIANTS = ("replay", "agreement")
+EXECUTION_INVARIANTS = ("replay", "agreement", "blame_conservation")
 
 #: What ``ioctopus-repro fuzz`` checks by default.
 DEFAULT_INVARIANTS = ("conservation", "drained", "no_reorder",
-                      "obs_consistency", "replay", "agreement")
+                      "obs_consistency", "replay", "agreement",
+                      "blame_conservation")
 
 ALL_INVARIANTS = tuple(INVARIANTS) + EXECUTION_INVARIANTS
 

@@ -42,13 +42,18 @@ _RESIDUAL = re.compile(r"residual=(\d+)")
 
 # ----------------------------------------------------------------- build
 
-def _build(case: FuzzCase, accuracy: str, trace: bool):
+def _build(case: FuzzCase, accuracy: str, trace: bool,
+           blame_collector=None):
     testbed = Testbed(system=system_for(case.config, case.components),
                       seed=case.seed, accuracy=accuracy)
     if trace:
         for machine in (testbed.server.machine, testbed.client.machine):
             machine.tracer.enabled = True
             machine.tracer.flows = True
+    if blame_collector is not None:
+        for machine in (testbed.server.machine, testbed.client.machine):
+            machine.tracer.enabled = True
+            machine.tracer.blame = blame_collector
     server = testbed.server
     warmup = warmup_of(case.duration_ns)
     workloads: Dict[str, object] = {}
@@ -297,10 +302,10 @@ def fingerprint(obs: Dict) -> str:
 # --------------------------------------------------------------- execute
 
 def execute(case: FuzzCase, accuracy: str = "exact",
-            trace: bool = True) -> Dict:
+            trace: bool = True, blame_collector=None) -> Dict:
     """One simulation of ``case``; returns the observation dict."""
     testbed, workloads, injectors, nvme_ctrl, nvme_driver = _build(
-        case, accuracy, trace)
+        case, accuracy, trace, blame_collector)
     outcome, error = "ok", None
     try:
         testbed.run(_horizon_ns(case))
@@ -340,6 +345,29 @@ def run_case(case: Dict, invariants: Optional[List[str]] = None,
                 "invariant": "replay",
                 "detail": f"same seed diverged: {want[:16]} != "
                           f"{got[:16]}"})
+
+    if "blame_conservation" in names:
+        # Re-run with a blame collector attached: stage charges must sum
+        # to each sealed flow's end-to-end latency exactly, and the
+        # attachment must not perturb the observation (obs stays
+        # read-only with respect to the model).
+        from repro.obs.blame import BlameCollector
+        collector = BlameCollector()
+        blame_obs = execute(fuzz_case, "exact",
+                            blame_collector=collector)
+        if not collector.conservation_ok:
+            first = (collector.conservation_errors[0]
+                     if collector.conservation_errors else "")
+            violations.append({
+                "invariant": "blame_conservation",
+                "detail": f"{collector.violations} flows broke stage-sum"
+                          f" == end-to-end; first: {first}"})
+        want, got = fingerprint(obs), fingerprint(blame_obs)
+        if want != got:
+            violations.append({
+                "invariant": "blame_conservation",
+                "detail": f"blame collection perturbed the run: "
+                          f"{want[:16]} != {got[:16]}"})
 
     if "agreement" in names and needs_adaptive_run(case, obs):
         # Every perf-only case is replayed under each fast accuracy

@@ -187,6 +187,30 @@ class MemorySystem:
             return self.drams[resident].miss_latency_ns
         return self._line_fill_latency(node, region)
 
+    def dma_read_class(self, node: int, region: Region) -> str:
+        """Classify (without charging) what a latency-bound read of a
+        freshly DMA-written line in ``region`` would be served from —
+        the DDIO tag the latency-blame stages carry:
+
+        * ``"ddio_hit"`` — the DMA allocated into this node's LLC.
+        * ``"llc_remote"`` — remote-DDIO: the line sits in the *other*
+          socket's LLC (cache-to-cache forward, ~a DRAM miss, §2.4).
+        * ``"dram"`` — the DMA spilled/went to this node's DRAM.
+        * ``"dram_qpi"`` — DRAM on the other socket, across the
+          interconnect.
+
+        Pure read: no counters move, no bandwidth is charged, so blame
+        classification cannot perturb the model.
+        """
+        resident = self._dma_resident_node(region)
+        if resident == node:
+            return "ddio_hit"
+        if resident is not None:
+            return "llc_remote"
+        if region.home_node != node:
+            return "dram_qpi"
+        return "dram"
+
     def cacheline_read(self, node: int, region: Region) -> int:
         """Latency of one demand-load line (not freshly DMA-written)."""
         llc = self.llcs[node]

@@ -108,6 +108,17 @@ _DIGEST_GAMMA = 2.0 ** (1.0 / DIGEST_BUCKETS_PER_OCTAVE)
 _DIGEST_LOG_GAMMA = math.log(_DIGEST_GAMMA)
 
 
+class DigestError(ValueError):
+    """A :class:`LatencyDigest` operation on unusable input (e.g.
+    percentile of an empty digest)."""
+
+
+class DigestMergeError(DigestError):
+    """Merging digests whose bucket bases differ: bucket indices of one
+    digest mean different latencies in the other, so adding counts
+    would silently corrupt percentiles."""
+
+
 class LatencyDigest:
     """Compact mergeable latency histogram (log-spaced buckets).
 
@@ -121,19 +132,27 @@ class LatencyDigest:
     (< ``2**(1/DIGEST_BUCKETS_PER_OCTAVE) - 1``, about 4.4%).
     """
 
-    __slots__ = ("buckets", "count", "sum", "min", "max")
+    __slots__ = ("buckets", "count", "sum", "min", "max",
+                 "buckets_per_octave", "_log_gamma")
 
-    def __init__(self):
+    def __init__(self, buckets_per_octave: int = DIGEST_BUCKETS_PER_OCTAVE):
+        if buckets_per_octave < 1:
+            raise DigestError(
+                f"buckets_per_octave must be >= 1, got {buckets_per_octave}")
         self.buckets: Dict[int, int] = {}
         self.count = 0
         self.sum = 0
         self.min: Optional[int] = None
         self.max: Optional[int] = None
+        self.buckets_per_octave = buckets_per_octave
+        self._log_gamma = (_DIGEST_LOG_GAMMA
+                           if buckets_per_octave == DIGEST_BUCKETS_PER_OCTAVE
+                           else math.log(2.0) / buckets_per_octave)
 
     @staticmethod
     def bucket_of(value_ns: int) -> int:
         """Index of the log bucket holding ``value_ns`` (0 and 1 ns share
-        bucket 0)."""
+        bucket 0) at the default resolution."""
         if value_ns <= 1:
             return 0
         return int(math.log(value_ns) / _DIGEST_LOG_GAMMA) + 1
@@ -141,18 +160,34 @@ class LatencyDigest:
     @staticmethod
     def bucket_value(index: int) -> int:
         """Representative latency of bucket ``index`` (geometric mean of
-        its edges), the value percentiles report."""
+        its edges) at the default resolution, the value percentiles
+        report."""
         if index <= 0:
             return 1
         return int(round(_DIGEST_GAMMA ** (index - 0.5)))
 
-    def record(self, latency_ns: int) -> None:
+    def _bucket_of(self, value_ns: int) -> int:
+        if value_ns <= 1:
+            return 0
+        return int(math.log(value_ns) / self._log_gamma) + 1
+
+    def _bucket_value(self, index: int) -> int:
+        if index <= 0:
+            return 1
+        return int(round(math.exp(self._log_gamma * (index - 0.5))))
+
+    def record(self, latency_ns: int, n: int = 1) -> None:
+        """Record ``latency_ns``; ``n > 1`` records it with weight ``n``
+        (how adaptive/fluid packet trains apportion one coalesced
+        measurement across the requests it represents)."""
         if latency_ns < 0:
             raise ValueError(f"negative latency {latency_ns}")
-        index = self.bucket_of(latency_ns)
-        self.buckets[index] = self.buckets.get(index, 0) + 1
-        self.count += 1
-        self.sum += latency_ns
+        if n < 1:
+            raise ValueError(f"weight must be >= 1, got {n}")
+        index = self._bucket_of(latency_ns)
+        self.buckets[index] = self.buckets.get(index, 0) + n
+        self.count += n
+        self.sum += latency_ns * n
         if self.min is None or latency_ns < self.min:
             self.min = latency_ns
         if self.max is None or latency_ns > self.max:
@@ -169,7 +204,15 @@ class LatencyDigest:
         return digest
 
     def merge(self, other: "LatencyDigest") -> "LatencyDigest":
-        """Fold ``other`` into this digest (bucket-count addition)."""
+        """Fold ``other`` into this digest (bucket-count addition).
+
+        Raises :class:`DigestMergeError` when the digests use different
+        bucket bases — their indices are not comparable."""
+        if other.buckets_per_octave != self.buckets_per_octave:
+            raise DigestMergeError(
+                f"cannot merge digests with different bucket bases: "
+                f"{self.buckets_per_octave} vs "
+                f"{other.buckets_per_octave} buckets/octave")
         for index, n in other.buckets.items():
             self.buckets[index] = self.buckets.get(index, 0) + n
         self.count += other.count
@@ -189,10 +232,12 @@ class LatencyDigest:
 
     def percentile(self, p: float) -> int:
         """Nearest-rank percentile, p in [0, 100]; exact at the extremes
-        (min/max are tracked exactly), within one bucket width
-        elsewhere."""
+        (min/max are tracked exactly) and whenever every sample landed
+        in one bucket (interpolated between the exact min and max
+        instead of reporting the bucket's representative value, which
+        could exceed both), within one bucket width elsewhere."""
         if not self.count:
-            raise ValueError("no samples recorded")
+            raise DigestError("no samples recorded")
         if not 0 <= p <= 100:
             raise ValueError(f"percentile out of range: {p}")
         rank = max(1, math.ceil(p / 100 * self.count))
@@ -200,19 +245,28 @@ class LatencyDigest:
             return self.max
         if rank <= 1:
             return self.min
+        if len(self.buckets) == 1:
+            # All mass in one bucket: min/max bound it exactly, so
+            # interpolate by rank instead of answering the bucket's
+            # geometric midpoint (which p50 of near-identical samples
+            # used to overshoot).
+            span = self.max - self.min
+            return self.min + round(span * (rank - 1) / (self.count - 1))
         seen = 0
         for index in sorted(self.buckets):
             seen += self.buckets[index]
             if seen >= rank:
                 return max(self.min, min(self.max,
-                                         self.bucket_value(index)))
+                                         self._bucket_value(index)))
         return self.max  # unreachable: counts sum to self.count
 
     # ----------------------------------------------------- serialization
 
     def to_dict(self) -> Dict:
-        """Plain-JSON form (sparse buckets keyed by str for JSON)."""
-        return {
+        """Plain-JSON form (sparse buckets keyed by str for JSON).  The
+        bucket base rides along only when non-default, so existing
+        serialized digests (and fingerprints over them) are unchanged."""
+        data = {
             "buckets": {str(k): v
                         for k, v in sorted(self.buckets.items())},
             "count": self.count,
@@ -220,10 +274,13 @@ class LatencyDigest:
             "min": self.min,
             "max": self.max,
         }
+        if self.buckets_per_octave != DIGEST_BUCKETS_PER_OCTAVE:
+            data["bpo"] = self.buckets_per_octave
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "LatencyDigest":
-        digest = cls()
+        digest = cls(int(data.get("bpo", DIGEST_BUCKETS_PER_OCTAVE)))
         digest.buckets = {int(k): int(v)
                           for k, v in data["buckets"].items()}
         digest.count = int(data["count"])
@@ -231,7 +288,7 @@ class LatencyDigest:
         digest.min = None if data["min"] is None else int(data["min"])
         digest.max = None if data["max"] is None else int(data["max"])
         if sum(digest.buckets.values()) != digest.count:
-            raise ValueError("digest bucket counts do not sum to count")
+            raise DigestError("digest bucket counts do not sum to count")
         return digest
 
 

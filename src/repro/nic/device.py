@@ -114,11 +114,24 @@ class NicDevice(MultiPfDevice):
 
         flow_trace = self.machine.tracer.active_flow
         if flow_trace is not None:
+            pipeline = npackets * PIPELINE_NS_PER_PKT
+            dma_stage = None
+            dma_blame = None
+            if self.machine.tracer.blame is not None:
+                loc = "local" if pf.is_local_to(queue.node_id) else "qpi"
+                dma_stage = f"dma.{loc}"
+                # Wire and DMA overlap inside the pipeline: the wire
+                # stage owns its full transit, the DMA stage owns the
+                # pipeline plus whatever DMA time the wire did not hide,
+                # so the two charges sum to the returned delay exactly.
+                dma_blame = pipeline + max(0, dma_delay - wire_delay)
             flow_trace.step("wire", "wire.rx", wire_delay,
-                            {"packets": npackets, "bytes": payload_total})
+                            {"packets": npackets, "bytes": payload_total},
+                            stage="wire")
             flow_trace.step(f"{self.name}.{pf.name}", "dma.rx",
-                            npackets * PIPELINE_NS_PER_PKT + dma_delay,
-                            {"buf_ns": buf_delay, "ring_ns": ring_delay})
+                            pipeline + dma_delay,
+                            {"buf_ns": buf_delay, "ring_ns": ring_delay},
+                            stage=dma_stage, blame_ns=dma_blame)
 
         queue.outstanding += npackets
         if queue.outstanding > queue.outstanding_hwm:
@@ -171,12 +184,30 @@ class NicDevice(MultiPfDevice):
 
         flow_trace = self.machine.tracer.active_flow
         if flow_trace is not None:
+            pipeline = npackets * PIPELINE_NS_PER_PKT
+            dma_stage = None
+            dma_blame = None
+            wire_blame = None
+            if self.machine.tracer.blame is not None:
+                loc = "local" if pf.is_local_to(queue.node_id) else "qpi"
+                dma_stage = f"dma.{loc}"
+                # Descriptor/payload DMA, the completion write-back and
+                # the wire all overlap: the DMA stage owns pipeline +
+                # its own time + the completion residual beyond
+                # max(wire, dma); the wire stage owns what the DMA did
+                # not hide.  Charges sum to the returned delay exactly.
+                slowest = max(wire_delay, dma_delay, completion_delay)
+                dma_blame = (pipeline + dma_delay
+                             + slowest - max(wire_delay, dma_delay))
+                wire_blame = max(0, wire_delay - dma_delay)
             flow_trace.step(f"{self.name}.{pf.name}", "dma.tx",
-                            npackets * PIPELINE_NS_PER_PKT + dma_delay,
+                            pipeline + dma_delay,
                             {"desc_ns": desc_delay,
-                             "payload_ns": payload_delay})
+                             "payload_ns": payload_delay},
+                            stage=dma_stage, blame_ns=dma_blame)
             flow_trace.step("wire", "wire.tx", wire_delay,
-                            {"packets": npackets, "bytes": payload_total})
+                            {"packets": npackets, "bytes": payload_total},
+                            stage="wire", blame_ns=wire_blame)
 
         # TX posting is synchronous, so ring residency peaks at the batch
         # itself; record it so the depth HWM is meaningful for tx queues.

@@ -105,9 +105,18 @@ class NvmeController(MultiPfDevice):
         dma_delay = max(dma_delay, pf.dma_write(qp.ring, ncmds * CACHELINE))
         flow_trace = self.machine.tracer.active_flow
         if flow_trace is not None:
+            dma_stage = None
+            if self.machine.tracer.blame is not None:
+                loc = "local" if pf.is_local_to(qp.node_id) else "qpi"
+                dma_stage = f"dma.{loc}"
+            # Flash and DMA overlap: flash owns its full time, the DMA
+            # stage owns only what flash did not hide, so the charges
+            # sum to the returned max(flash, dma).
             flow_trace.step(f"{self.name}.flash", "flash.read", flash_delay,
-                            {"cmds": ncmds, "bytes": total})
-            flow_trace.step(f"{self.name}.{pf.name}", "dma.rx", dma_delay)
+                            {"cmds": ncmds, "bytes": total}, stage="flash")
+            flow_trace.step(f"{self.name}.{pf.name}", "dma.rx", dma_delay,
+                            stage=dma_stage,
+                            blame_ns=max(0, dma_delay - flash_delay))
         qp.outstanding += ncmds
         if qp.outstanding > qp.outstanding_hwm:
             qp.outstanding_hwm = qp.outstanding
@@ -128,9 +137,17 @@ class NvmeController(MultiPfDevice):
         dma_delay = max(dma_delay, pf.dma_write(qp.ring, ncmds * CACHELINE))
         flow_trace = self.machine.tracer.active_flow
         if flow_trace is not None:
-            flow_trace.step(f"{self.name}.{pf.name}", "dma.tx", dma_delay)
+            dma_stage = None
+            if self.machine.tracer.blame is not None:
+                loc = "local" if pf.is_local_to(qp.node_id) else "qpi"
+                dma_stage = f"dma.{loc}"
+            # Mirror of read(): the DMA owns its full time, flash only the
+            # residual it does not hide behind the transfer.
+            flow_trace.step(f"{self.name}.{pf.name}", "dma.tx", dma_delay,
+                            stage=dma_stage)
             flow_trace.step(f"{self.name}.flash", "flash.write", flash_delay,
-                            {"cmds": ncmds, "bytes": total})
+                            {"cmds": ncmds, "bytes": total}, stage="flash",
+                            blame_ns=max(0, flash_delay - dma_delay))
         qp.outstanding += ncmds
         if qp.outstanding > qp.outstanding_hwm:
             qp.outstanding_hwm = qp.outstanding

@@ -100,7 +100,7 @@ class NvmeDriver(OctoTeam, DeviceDriver):
         prep = ncmds * self.machine.spec.software.fio_request_ns
         if flow is not None:
             flow.step(f"core{node}.app", f"nvme.{op}.submit", prep,
-                      {"cmds": ncmds, "bytes": nbytes})
+                      {"cmds": ncmds, "bytes": nbytes}, stage="stack")
         cpu = prep
         cpu += self.doorbell.ring(qp, node)
         if op == "read":
@@ -115,6 +115,7 @@ class NvmeDriver(OctoTeam, DeviceDriver):
         if flow is not None:
             flow.finish(f"core{node}.app", f"nvme.{op}.complete", 0,
                         {"cpu_ns": cpu, "dev_ns": dev})
+            flow.seal(cpu + dev)
         return cpu, dev
 
     def submit_read(self, core: Core, nbytes: int, ncmds: int = 1) -> tuple:

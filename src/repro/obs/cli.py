@@ -7,10 +7,15 @@ Examples::
     ioctopus-repro obs --workload rr --trace /tmp/rr.json
     ioctopus-repro obs --config ioctopus --full --profile
     ioctopus-repro obs --prom /tmp/metrics.prom
+    ioctopus-repro obs blame --workload rr --config remote
+    ioctopus-repro obs diff --a-config ioctopus --b-config remote
 
 The ``rr`` workload is the one to use with ``--trace``: its latency
 path opens a flow per round trip, so the Perfetto view shows each
 message as a connected arrow chain wire -> PF -> DMA -> stack -> app.
+``obs blame`` replaces the utilization table with the per-stage latency
+budget (:mod:`repro.obs.blame`); ``obs diff`` attributes the delta
+between two configurations (:mod:`repro.obs.diff`).
 """
 
 from __future__ import annotations
@@ -83,7 +88,65 @@ def _run_point(args, obs: ObsSession) -> dict:
     return {"avg_rtt_us": rtt / 1000}
 
 
+def build_blame_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ioctopus-repro obs blame",
+        description="Run one experiment point with latency-blame "
+                    "attribution and print the per-stage budget table")
+    parser.add_argument("--workload", default="pktgen", choices=WORKLOADS)
+    parser.add_argument("--config", default="remote",
+                        choices=("local", "remote", "ioctopus"))
+    parser.add_argument("--packet-bytes", type=int, default=256)
+    parser.add_argument("--message-bytes", type=int, default=16384)
+    parser.add_argument("--fidelity", default="quick",
+                        choices=tuple(sorted(DURATIONS_MS)))
+    parser.add_argument("--accuracy", default="exact",
+                        choices=("exact", "adaptive", "fluid"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--client-config", default="local",
+                        choices=("local", "remote", "ioctopus"),
+                        help="rr client-side configuration")
+    parser.add_argument("--no-ddio", action="store_true",
+                        help="rr: disable DDIO on the server")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the raw JSON report")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="also write the JSON report to FILE")
+    return parser
+
+
+def blame_main(argv: Optional[List[str]] = None) -> int:
+    import json
+
+    from repro.obs.blame import render_text, run_blame_point
+
+    args = build_blame_parser().parse_args(argv)
+    size = (args.packet_bytes if args.workload == "pktgen"
+            else args.message_bytes)
+    duration = DURATIONS_MS[args.fidelity] * 1_000_000
+    report = run_blame_point(
+        args.workload, args.config, size=size, duration_ns=duration,
+        seed=args.seed, accuracy=args.accuracy,
+        client_config=args.client_config, ddio=not args.no_ddio)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(json.dumps(report, indent=2, sort_keys=True)
+                         + "\n")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_text(report))
+    return 0 if report["conservation"]["ok"] else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "blame":
+        return blame_main(argv[1:])
+    if argv and argv[0] == "diff":
+        from repro.obs.diff import main as diff_main
+        return diff_main(argv[1:])
     args = build_parser().parse_args(argv)
     obs = ObsSession(enabled=True, trace=bool(args.trace),
                      sample_interval_ns=args.sample_interval_us * 1000,

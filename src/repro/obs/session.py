@@ -39,11 +39,21 @@ class ObsSession:
     def __init__(self, enabled: bool = True, trace: bool = False,
                  flows: bool = True,
                  sample_interval_ns: int = DEFAULT_INTERVAL_NS,
-                 profile: bool = False):
+                 profile: bool = False, blame: bool = False):
         self.enabled = enabled
         self.registry = MetricsRegistry(enabled=enabled)
         self.tracer: Optional[Tracer] = (
             Tracer(enabled=True, flows=flows) if trace else None)
+        self.blame = None
+        if blame:
+            from repro.obs.blame import BlameCollector
+            self.blame = BlameCollector()
+            if self.tracer is None:
+                # Blame rides on the flow plumbing but needs no records:
+                # an enabled tracer with flows off opens blame-only
+                # flows and collects nothing else.
+                self.tracer = Tracer(enabled=True, flows=False)
+            self.tracer.blame = self.blame
         self.sample_interval_ns = sample_interval_ns
         self.sampler: Optional[UtilizationSampler] = None
         self.profiler: Optional[EngineProfiler] = None
@@ -146,3 +156,14 @@ class ObsSession:
         if self.profiler is None:
             raise ValueError("session was not built with profile=True")
         return self.profiler.table()
+
+    def blame_report(self, domain: str = "flow") -> dict:
+        """Per-stage latency budgets (:func:`repro.obs.blame.build_report`)."""
+        if self.blame is None:
+            raise ValueError("session was not built with blame=True")
+        from repro.obs.blame import build_report
+        return build_report(self.blame, domain=domain)
+
+    def blame_table(self, domain: str = "flow") -> str:
+        from repro.obs.blame import render_text
+        return render_text(self.blame_report(domain=domain))

@@ -172,23 +172,33 @@ class NetworkStack:
         # a single queue stays DDIO-hot.
         queue = sock.driver.rx_queue_for_core(thread.core)
         total_bytes = npackets * payload
+        # Blame-only interval (no trace records): the shared paths below
+        # contribute their stage charges while it is active.
+        bflow = self.machine.tracer.begin_blame(self.machine.now)
         cpu = sock.driver.completion.interrupt(queue, burst_packets,
                                                ntrains, self.machine.now)
-        cpu += npackets * self.costs.rx_pkt_ns
-        cpu += total_messages * self.costs.syscall_ns
+        stack = (npackets * self.costs.rx_pkt_ns
+                 + total_messages * self.costs.syscall_ns)
+        cpu += stack
         # Completion-descriptor reads: hit (DDIO) or ~80 ns miss each.
         cpu += sock.driver.completion.consume(queue, npackets, node)
         # Payload copy to userspace: source freshness decided by DMA path.
-        cpu += int(total_bytes * self.costs.copy_ns_per_byte)
-        cpu += self.memory.cpu_read_fresh_dma(node, queue.buffers,
-                                              total_bytes,
-                                              inflight_bytes=_ring_lag(queue))
-        cpu += self.memory.cpu_stream_write(node, sock.app_buffer,
-                                            total_bytes)
+        copy = int(total_bytes * self.costs.copy_ns_per_byte)
+        fresh = self.memory.cpu_read_fresh_dma(node, queue.buffers,
+                                               total_bytes,
+                                               inflight_bytes=_ring_lag(queue))
+        copy += self.memory.cpu_stream_write(node, sock.app_buffer,
+                                             total_bytes)
+        cpu += copy + fresh
 
         delivered, dev_ns = sock.driver.device.rx_deliver(
             sock.flow, sock.dst_mac, npackets, payload, nbursts=ntrains)
         delivered.outstanding = max(0, delivered.outstanding - npackets)
+        if bflow is not None:
+            bflow.charge("stack", stack)
+            bflow.charge("app", copy)
+            bflow.charge("mem.miss", fresh)
+            bflow.seal(cpu + dev_ns, represented=ntrains)
         sock.rx_messages += total_messages
         sock.rx_payload_bytes += total_bytes
         return cpu, dev_ns
@@ -226,12 +236,15 @@ class NetworkStack:
             ndesc = npackets
             stack_cost = npackets * self.costs.tx_pkt_ns
 
-        cpu = total_messages * self.costs.syscall_ns + stack_cost
+        bflow = self.machine.tracer.begin_blame(self.machine.now)
+        kernel = total_messages * self.costs.syscall_ns + stack_cost
+        cpu = kernel
         # Copy userspace -> kernel skbs.
-        cpu += int(total_bytes * self.costs.copy_ns_per_byte)
-        cpu += self.memory.cpu_stream_read(node, sock.app_buffer,
-                                           total_bytes)
-        cpu += self.memory.cpu_stream_write(node, txq.skbs, total_bytes)
+        copy = int(total_bytes * self.costs.copy_ns_per_byte)
+        copy += self.memory.cpu_stream_read(node, sock.app_buffer,
+                                            total_bytes)
+        copy += self.memory.cpu_stream_write(node, txq.skbs, total_bytes)
+        cpu += copy
         # Doorbell per burst (crosses the interconnect if the PF is remote).
         cpu += sock.driver.doorbell.ring(txq, node, times=ntrains)
 
@@ -246,13 +259,27 @@ class NetworkStack:
         # DMA-written like any Rx traffic, so their descriptor reads miss
         # when the serving PF is remote.
         nacks = (burst_packets // 16) * ntrains
+        ack_stack = 0
+        ack_residual = 0
         if nacks:
             rxq = sock.driver.rx_queue_for_core(thread.core)
             dev_ack = rxq.pf.dma_write(rxq.ring, nacks * 64,
                                        nbursts=ntrains)
-            cpu += nacks * (self.costs.rx_pkt_ns // 2)
+            ack_stack = nacks * (self.costs.rx_pkt_ns // 2)
+            cpu += ack_stack
             cpu += sock.driver.completion.consume(rxq, nacks, node)
+            if dev_ack > dev_ns:
+                # The ACK DMA outlasts the Tx pipeline: the overflow is
+                # remote-PF DMA time on the device side.
+                ack_residual = dev_ack - dev_ns
+                if bflow is not None:
+                    loc = ("local" if rxq.pf.is_local_to(node) else "qpi")
+                    bflow.charge(f"dma.{loc}", ack_residual)
             dev_ns = max(dev_ns, dev_ack)
+        if bflow is not None:
+            bflow.charge("stack", kernel + ack_stack)
+            bflow.charge("app", copy)
+            bflow.seal(cpu + dev_ns, represented=ntrains)
         sock.tx_messages += total_messages
         sock.tx_payload_bytes += total_bytes
         return cpu, dev_ns
@@ -283,21 +310,29 @@ class NetworkStack:
                + self.costs.irq_ns + self.costs.wakeup_ns)
         stack = pkts * self.costs.rx_pkt_ns + self.costs.syscall_ns
         if flow is not None:
-            flow.step(f"core{node}.irq", "irq.wakeup", irq)
+            irq_loc = "local" if queue.pf.is_local_to(node) else "qpi"
+            flow.step(f"core{node}.irq", "irq.wakeup", irq,
+                      stage=f"irq.{irq_loc}")
             flow.step(f"core{node}.stack", "stack.rx", stack,
-                      {"packets": pkts})
+                      {"packets": pkts}, stage="stack")
         latency += irq + stack
         latency += sock.driver.completion.consume(queue, pkts, node)
         # The packet head is a latency-bound demand load (header parse
         # cannot be prefetched); the remainder streams.
-        app = self.memory.read_fresh_dma_line(node, queue.buffers)
-        app += int(total * self.costs.copy_ns_per_byte)
-        app += self.memory.cpu_read_fresh_dma(node, queue.buffers, total)
-        app += self.memory.cpu_stream_write(node, sock.app_buffer, total)
-        if flow is not None:
-            flow.finish(f"core{node}.app", "app.copy", app,
-                        {"bytes": total})
+        head = self.memory.read_fresh_dma_line(node, queue.buffers)
+        copy = int(total * self.costs.copy_ns_per_byte)
+        copy += self.memory.cpu_stream_write(node, sock.app_buffer, total)
+        fresh = self.memory.cpu_read_fresh_dma(node, queue.buffers, total)
+        app = head + copy + fresh
         latency += app
+        if flow is not None:
+            # Payload freshness is its own stage: zero when DDIO kept
+            # the data hot, the remote-DRAM/DDIO-miss cost otherwise.
+            flow.finish(f"core{node}.app", "app.copy", app,
+                        {"bytes": total},
+                        stages={"mem.miss": head + fresh,
+                                "app": copy})
+            flow.seal(latency)
         sock.rx_messages += 1
         sock.rx_payload_bytes += total
         return latency
@@ -314,19 +349,22 @@ class NetworkStack:
         per_pkt = self.costs.udp_pkt_ns if udp else self.costs.tx_pkt_ns
 
         flow = self.machine.tracer.begin_flow(self.machine.now)
-        stack = self.costs.syscall_ns + pkts * per_pkt
-        stack += int(total * self.costs.copy_ns_per_byte)
-        stack += self.memory.cpu_stream_read(node, sock.app_buffer, total)
-        stack += self.memory.cpu_stream_write(node, txq.skbs, total)
+        kernel = self.costs.syscall_ns + pkts * per_pkt
+        app = int(total * self.costs.copy_ns_per_byte)
+        app += self.memory.cpu_stream_read(node, sock.app_buffer, total)
+        app += self.memory.cpu_stream_write(node, txq.skbs, total)
+        stack = kernel + app
         if flow is not None:
             flow.step(f"core{node}.app", "app.send", stack,
-                      {"bytes": total})
+                      {"bytes": total},
+                      stages={"stack": kernel, "app": app})
         latency = stack
         latency += sock.driver.doorbell.ring(txq, node)
         latency += sock.driver.device.tx(txq, txq.skbs, pkts, payload,
                                          ndesc=pkts)
         if flow is not None:
             flow.finish("wire", "tx.done", 0)
+            flow.seal(latency)
         sock.tx_messages += 1
         sock.tx_payload_bytes += total
         return latency

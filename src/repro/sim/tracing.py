@@ -62,43 +62,119 @@ class TraceRecord:
 
 
 class TraceFlow:
-    """One packet/IO journey: connected spans with a running time cursor."""
+    """One packet/IO journey: connected spans with a running time cursor.
 
-    __slots__ = ("tracer", "flow_id", "cursor", "steps")
+    Besides the Perfetto staircase, a flow can accumulate **blame**: each
+    step may name the latency *stage* it belongs to (``stage=``) and the
+    nanoseconds that stage is answerable for (``blame_ns=``, defaulting
+    to ``dur``), or pass a whole ``stages={name: ns}`` decomposition when
+    one hop covers several stages.  Blame differs from the staircase
+    duration wherever the model overlaps work (e.g. the NIC pipeline
+    runs wire transit and DMA concurrently): stages carry the
+    *overlap-residual* charges so that their sum equals the latency the
+    model actually returned.  :meth:`seal` hands the accumulated stages
+    to the tracer's blame collector together with that end-to-end total,
+    which is where the stage-sum == end-to-end conservation check lives.
 
-    def __init__(self, tracer: "Tracer", flow_id: int, start_ns: int):
+    Flows with ``record=False`` are *blame-only*: they accumulate stages
+    and participate in ``active_flow`` plumbing but emit no
+    :class:`TraceRecord`, so throughput paths can attribute latency
+    without perturbing traces, fingerprints, or memory.
+    """
+
+    __slots__ = ("tracer", "flow_id", "cursor", "steps", "record",
+                 "stages")
+
+    def __init__(self, tracer: "Tracer", flow_id: int, start_ns: int,
+                 record: bool = True):
         self.tracer = tracer
         self.flow_id = flow_id
         self.cursor = int(start_ns)
         self.steps = 0
+        self.record = record
+        self.stages: Optional[Dict[str, int]] = None
+
+    def _charge(self, stage: Optional[str], blame_ns: Optional[int],
+                dur: int, stages: Optional[Dict[str, int]]) -> None:
+        acc = self.stages
+        if acc is None:
+            acc = self.stages = {}
+        if stages is not None:
+            for name, ns in stages.items():
+                ns = int(ns)
+                if ns > 0:
+                    acc[name] = acc.get(name, 0) + ns
+        elif stage is not None:
+            ns = dur if blame_ns is None else int(blame_ns)
+            if ns > 0:
+                acc[stage] = acc.get(stage, 0) + ns
 
     def step(self, source: str, event: str, dur: int = 0,
-             payload: Any = None) -> None:
+             payload: Any = None, *, stage: Optional[str] = None,
+             blame_ns: Optional[int] = None,
+             stages: Optional[Dict[str, int]] = None) -> None:
         """Emit one stage of the journey at the cursor; advance it by
         ``dur`` so the next stage starts where this one ended."""
         dur = int(dur)
         if dur < 0:
             dur = 0
-        phase = "s" if self.steps == 0 else "t"
-        self.tracer._append(TraceRecord(
-            self.cursor, source, event, payload, "X", dur,
-            self.flow_id, phase))
+        if self.record:
+            phase = "s" if self.steps == 0 else "t"
+            self.tracer._append(TraceRecord(
+                self.cursor, source, event, payload, "X", dur,
+                self.flow_id, phase))
         self.steps += 1
         self.cursor += dur
+        if self.tracer.blame is not None:
+            self._charge(stage, blame_ns, dur, stages)
 
     def finish(self, source: str, event: str, dur: int = 0,
-               payload: Any = None) -> None:
+               payload: Any = None, *, stage: Optional[str] = None,
+               blame_ns: Optional[int] = None,
+               stages: Optional[Dict[str, int]] = None) -> None:
         """Emit the terminal stage and close the flow."""
         dur = int(dur)
         if dur < 0:
             dur = 0
-        self.tracer._append(TraceRecord(
-            self.cursor, source, event, payload, "X", dur,
-            self.flow_id, "f"))
+        if self.record:
+            self.tracer._append(TraceRecord(
+                self.cursor, source, event, payload, "X", dur,
+                self.flow_id, "f"))
         self.steps += 1
         self.cursor += dur
+        if self.tracer.blame is not None:
+            self._charge(stage, blame_ns, dur, stages)
         if self.tracer.active_flow is self:
             self.tracer.active_flow = None
+
+    def charge(self, stage: str, ns: int) -> None:
+        """Charge ``ns`` to ``stage`` without emitting a span — how the
+        burst paths attribute CPU costs that have no trace step."""
+        if self.tracer.blame is None:
+            return
+        ns = int(ns)
+        if ns <= 0:
+            return
+        acc = self.stages
+        if acc is None:
+            acc = self.stages = {}
+        acc[stage] = acc.get(stage, 0) + ns
+
+    def seal(self, total_ns: int, represented: int = 1,
+             domain: str = "flow") -> None:
+        """Close the flow for blame purposes: report the accumulated
+        stage charges against the end-to-end total the caller actually
+        returned.  ``represented`` is how many base units (bursts,
+        requests) this flow stands for — adaptive/fluid packet trains
+        seal once per train with ``represented=k`` and the collector
+        apportions stage time across them.  Safe to call after
+        :meth:`finish`; a no-op when no blame collector is attached."""
+        if self.tracer.active_flow is self:
+            self.tracer.active_flow = None
+        blame = self.tracer.blame
+        if blame is not None:
+            blame.add(self.stages or {}, int(total_ns),
+                      represented=represented, domain=domain)
 
 
 @dataclass
@@ -113,14 +189,45 @@ class Tracer:
     #: and tests flip ``enabled`` for instant events and must not start
     #: collecting per-packet staircases as a side effect.
     flows: bool = False
-    #: Hard cap on flows per tracer: latency loops open one flow per
-    #: message, and an unbounded run would otherwise collect millions of
-    #: spans.  ``begin_flow`` returns None once the cap is reached.
+    #: Cap on *recorded* flows per tracer: latency loops open one flow
+    #: per message, and an unbounded run would otherwise collect
+    #: millions of spans.  Rather than keeping the first ``flow_limit``
+    #: flows (which biases traces towards warm-up), the tracer stride-
+    #: samples: when the cap is hit the stride doubles (keeping every
+    #: 2nd, 4th, ... candidate, offset seeded from the sim clock) and
+    #: already-collected flows outside the new stride are evicted, so a
+    #: long run ends with <= ``flow_limit`` flows spread across its
+    #: whole duration.  Runs that never hit the cap record exactly the
+    #: flows (and ids) they always did — exact-mode traces stay
+    #: bit-identical.
     flow_limit: int = 1000
     #: The flow currently being built (shared paths contribute steps to
     #: it); None outside an open flow.
     active_flow: Optional[TraceFlow] = None
-    _next_flow_id: int = 0
+    #: Latency-blame collector (:class:`repro.obs.blame.BlameCollector`
+    #: or None).  When attached, ``begin_flow`` opens blame-only flows
+    #: even past the flow cap / with ``flows`` off, and sealed flows
+    #: report their per-stage charges to it.
+    blame: Optional[Any] = None
+    #: Burst-path blame sampling: :meth:`begin_blame` admits one call in
+    #: ``blame_stride``.  Throughput loops open one blame flow per burst
+    #: and bursts are statistically exchangeable, so sampling keeps the
+    #: per-stage digests and shares unbiased while bounding attribution
+    #: cost (the obs-overhead ceiling gates blame-enabled runs at the
+    #: same 2% as the rest of the stack).  Latency paths open their
+    #: flows through :meth:`begin_flow`, which never samples — every
+    #: request's decomposition is charged and conservation-checked.
+    blame_stride: int = 64
+    #: Flow candidates seen (every ``begin_flow`` call) — doubles as the
+    #: next flow id, so ids equal candidate indices.
+    _flow_seen: int = 0
+    #: ``begin_blame`` candidates seen (separate counter so the sampling
+    #: phase is independent of interleaved ``begin_flow`` traffic).
+    _blame_seen: int = 0
+    _flow_stride: int = 1
+    _flow_offset: int = 0
+    #: Ids of currently recorded flows (survivors of stride eviction).
+    _flow_ids: List[int] = field(default_factory=list)
 
     # ------------------------------------------------------------- emit
 
@@ -149,18 +256,80 @@ class Tracer:
     def begin_flow(self, start_ns: int) -> Optional[TraceFlow]:
         """Open a flow at ``start_ns`` and make it the active flow.
 
-        Returns None when flow tracing is off (or the flow cap is hit) —
-        callers guard their step/finish calls on the returned handle,
-        while shared paths consult :attr:`active_flow`.
+        Returns None when neither flow tracing nor blame collection
+        wants the flow — callers guard their step/finish calls on the
+        returned handle, while shared paths consult :attr:`active_flow`.
+        With a blame collector attached, flows past the recording cap
+        (or with ``flows`` off entirely) come back *blame-only*
+        (``record=False``): they accumulate stage charges but emit no
+        trace records.
         """
-        if not (self.enabled and self.flows):
+        if not self.enabled:
             return None
-        if self._next_flow_id >= self.flow_limit:
+        index = self._flow_seen
+        self._flow_seen = index + 1
+        record = False
+        if self.flows:
+            record = self._admit_flow(index, start_ns)
+        if not record and self.blame is None:
             return None
-        flow = TraceFlow(self, self._next_flow_id, start_ns)
-        self._next_flow_id += 1
+        flow = TraceFlow(self, index, start_ns, record=record)
         self.active_flow = flow
         return flow
+
+    def begin_blame(self, start_ns: int) -> Optional[TraceFlow]:
+        """Open a blame-only flow (no trace records, ever) — what the
+        throughput/burst paths use so stage attribution works without
+        flow tracing and without perturbing recorded traces.  Returns
+        None unless a blame collector is attached, and only for one
+        call in :attr:`blame_stride` (deterministic burst sampling)."""
+        if self.blame is None or not self.enabled:
+            return None
+        index = self._blame_seen
+        self._blame_seen = index + 1
+        if self.blame_stride > 1 and index % self.blame_stride:
+            return None
+        flow = TraceFlow(self, self._flow_seen, start_ns, record=False)
+        self._flow_seen += 1
+        self.active_flow = flow
+        return flow
+
+    # ------------------------------------------------- flow admission
+
+    def _admit_flow(self, index: int, start_ns: int) -> bool:
+        """Deterministic stride sampling: admit candidate ``index`` iff
+        it lies on the current stride lattice; double the stride (and
+        evict off-lattice survivors) whenever the cap is reached."""
+        if self.flow_limit <= 0:
+            return False
+        if (index - self._flow_offset) % self._flow_stride:
+            return False
+        if len(self._flow_ids) >= self.flow_limit:
+            self._double_stride(start_ns)
+            if (index - self._flow_offset) % self._flow_stride:
+                return False
+        self._flow_ids.append(index)
+        return True
+
+    def _double_stride(self, start_ns: int) -> None:
+        """Halve the kept-flow density.  The surviving parity class is
+        seeded from the sim clock at overflow time — deterministic for a
+        given run, but not systematically biased towards even candidate
+        indices.  The new offset stays congruent to the old one modulo
+        the old stride, so survivors remain a subset of what was already
+        collected and no recorded flow is ever half-evicted."""
+        seed = int(start_ns)
+        while (len(self._flow_ids) >= self.flow_limit
+               and self._flow_stride < (1 << 60)):
+            bit = (seed >> (self._flow_stride.bit_length() - 1)) & 1
+            self._flow_offset += bit * self._flow_stride
+            self._flow_stride *= 2
+            self._flow_ids = [
+                i for i in self._flow_ids
+                if (i - self._flow_offset) % self._flow_stride == 0]
+        kept = set(self._flow_ids)
+        self.records = [r for r in self.records
+                        if r.flow_id is None or r.flow_id in kept]
 
     # ----------------------------------------------------------- queries
 
@@ -264,6 +433,11 @@ class Tracer:
     def clear(self) -> None:
         self.records.clear()
         self.active_flow = None
+        self._flow_seen = 0
+        self._blame_seen = 0
+        self._flow_stride = 1
+        self._flow_offset = 0
+        self._flow_ids = []
 
 
 #: Shared no-op tracer used when a component is built without one.

@@ -61,17 +61,36 @@ class Pktgen(Workload):
             return
 
         while not self.done():
-            cpu = BURST_PKTS * costs.pktgen_pkt_ns
-            cpu += txq.pf.mmio_latency(node)  # doorbell per burst
+            bflow = machine.tracer.begin_blame(self.env.now)
+            stack = BURST_PKTS * costs.pktgen_pkt_ns
+            door = txq.pf.mmio_latency(node)  # doorbell per burst
+            cpu = stack + door
             dev = device.tx(txq, packet, BURST_PKTS, self.packet_bytes,
                             ndesc=BURST_PKTS)
-            cpu += BURST_PKTS * machine.memory.read_fresh_dma_line(
+            cq = BURST_PKTS * machine.memory.read_fresh_dma_line(
                 node, txq.ring)
+            cpu += cq
+            if bflow is not None:
+                self._charge_burst(bflow, machine, txq, node, stack, door,
+                                   cq, cpu + dev, 1)
             if self.in_measurement():
                 self.meter.record(BURST_PKTS * self.packet_bytes,
                                   BURST_PKTS)
             yield thread.overlap(cpu, dev)
         self.meter.finish(min(self.env.now, self.duration_ns))
+
+    @staticmethod
+    def _charge_burst(bflow, machine, txq, node, stack, door, cq, total,
+                      represented):
+        """Blame charges for one pktgen burst (or K-burst train): loop
+        CPU work, the doorbell MMIO, and the completion-entry reads; the
+        device DMA/wire stages were charged inside ``device.tx``."""
+        bflow.charge("stack", stack)
+        loc = "local" if txq.pf.is_local_to(node) else "qpi"
+        bflow.charge(f"doorbell.{loc}", door)
+        tag = machine.memory.dma_read_class(node, txq.ring)
+        bflow.charge("cq.hit" if tag == "ddio_hit" else "cq.miss", cq)
+        bflow.seal(total, represented=represented)
 
     def _train_body(self, thread, machine, costs, txq, node, device, packet):
         """Adaptive fast path: coalesce K identical bursts per event.
@@ -99,13 +118,19 @@ class Pktgen(Workload):
                                               self.duration_ns)
             k = governor.plan(token, cap)
             pkts = k * BURST_PKTS
+            bflow = machine.tracer.begin_blame(self.env.now)
             with governor.interval(k):
-                cpu = pkts * costs.pktgen_pkt_ns
-                cpu += k * txq.pf.mmio_latency(node)
+                stack = pkts * costs.pktgen_pkt_ns
+                door = k * txq.pf.mmio_latency(node)
+                cpu = stack + door
                 dev = device.tx(txq, packet, pkts, self.packet_bytes,
                                 ndesc=pkts, nbursts=k)
-                cpu += pkts * machine.memory.read_fresh_dma_line(
+                cq = pkts * machine.memory.read_fresh_dma_line(
                     node, txq.ring)
+                cpu += cq
+            if bflow is not None:
+                self._charge_burst(bflow, machine, txq, node, stack, door,
+                                   cq, cpu + dev, k)
             wall = max(cpu, dev)
             if self.in_measurement():
                 # Progressive start/finish: the train's bytes are

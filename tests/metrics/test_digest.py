@@ -4,8 +4,9 @@ import math
 
 import pytest
 
-from repro.metrics.collect import (DIGEST_BUCKETS_PER_OCTAVE,
-                                   LatencyDigest, LatencyRecorder)
+from repro.metrics.collect import (DIGEST_BUCKETS_PER_OCTAVE, DigestError,
+                                   DigestMergeError, LatencyDigest,
+                                   LatencyRecorder)
 from repro.sim.rng import SimRandom
 
 #: Any digest percentile must sit within one log bucket of the exact
@@ -118,6 +119,54 @@ def test_digest_validation():
     bad["count"] = 5
     with pytest.raises(ValueError):
         LatencyDigest.from_dict(bad)
+
+
+def test_weighted_record_equals_repeated_records():
+    weighted = LatencyDigest()
+    weighted.record(5_000, n=7)
+    repeated = LatencyDigest()
+    for _ in range(7):
+        repeated.record(5_000)
+    assert weighted.to_dict() == repeated.to_dict()
+    with pytest.raises(ValueError):
+        weighted.record(1, n=0)
+
+
+def test_empty_digest_percentile_raises_typed_error():
+    with pytest.raises(DigestError):
+        LatencyDigest().percentile(50)
+    # DigestError subclasses ValueError, so legacy handlers still catch.
+    assert issubclass(DigestError, ValueError)
+
+
+def test_single_bucket_percentiles_interpolate_between_extremes():
+    digest = LatencyDigest()
+    digest.record(1000, n=3)
+    digest.record(1001, n=3)
+    assert len(digest.buckets) == 1            # 0.1% apart: same bucket
+    assert digest.percentile(0) == 1000
+    assert digest.percentile(100) == 1001
+    # Every interior percentile sits within [min, max] — never the
+    # bucket's geometric midpoint overshooting both.
+    for p in (25, 50, 75, 99):
+        assert 1000 <= digest.percentile(p) <= 1001
+    lone = LatencyDigest()
+    lone.record(4242, n=5)
+    assert lone.percentile(50) == 4242
+
+
+def test_merge_rejects_mismatched_bucket_bases():
+    fine = LatencyDigest()
+    coarse = LatencyDigest(buckets_per_octave=4)
+    fine.record(100)
+    coarse.record(100)
+    with pytest.raises(DigestMergeError):
+        fine.merge(coarse)
+    # Non-default resolution round-trips through the dict form.
+    clone = LatencyDigest.from_dict(coarse.to_dict())
+    assert clone.buckets_per_octave == 4
+    clone.merge(coarse)                        # same base: fine
+    assert clone.count == 2
 
 
 def test_digest_small_values_share_bucket_zero():

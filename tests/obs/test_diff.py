@@ -1,0 +1,109 @@
+"""Differential run analysis: delta decomposition, family-clamped NUDMA
+attribution, inert thresholds, and the CLI round trip."""
+
+import json
+
+import pytest
+
+from repro.obs.blame import run_blame_point
+from repro.obs.diff import diff_reports, main, render_text
+
+SHORT_NS = 2_000_000
+
+
+def _report(e2e_mean, stages, p50=None, p99=None):
+    """Minimal hand-built blame report for diff unit tests: stages is
+    {name: (mean_ns, tail_mean_ns)}."""
+    return {
+        "e2e": {"mean_ns": e2e_mean,
+                "p50_ns": int(p50 if p50 is not None else e2e_mean),
+                "p99_ns": int(p99 if p99 is not None else e2e_mean)},
+        "stages": [{"stage": name, "mean_ns": mean, "tail_mean_ns": tail}
+                   for name, (mean, tail) in stages.items()],
+        "conservation": {"ok": True},
+    }
+
+
+def test_diff_decomposes_the_mean_delta_exactly():
+    a = _report(100.0, {"stack": (60.0, 60.0), "dma.local": (40.0, 40.0)})
+    b = _report(130.0, {"stack": (60.0, 60.0), "dma.qpi": (70.0, 70.0)})
+    diff = diff_reports(a, b)
+    assert diff["e2e_delta"]["mean_ns"] == pytest.approx(30.0)
+    assert sum(r["delta_mean_ns"]
+               for r in diff["stages"]) == pytest.approx(30.0)
+    assert sum(r["delta_mean_ns"]
+               for r in diff["families"]) == pytest.approx(30.0)
+    # dma.local -> dma.qpi relabel: only the +30 net excess is NUDMA.
+    assert diff["nudma_delta_mean_ns"] == pytest.approx(30.0)
+    assert diff["nudma_share"] == pytest.approx(1.0)
+
+
+def test_family_clamp_nets_out_relabel_swaps():
+    """An irq.local -> irq.qpi swap of nearly equal cost attributes only
+    its few-ns net excess, not the gross +/- movement."""
+    a = _report(1000.0, {"irq.local": (550.0, 550.0),
+                         "app": (450.0, 450.0)})
+    b = _report(1017.0, {"irq.qpi": (567.0, 567.0),
+                         "app": (450.0, 450.0)})
+    diff = diff_reports(a, b)
+    irq = next(r for r in diff["families"] if r["family"] == "irq")
+    assert irq["delta_mean_ns"] == pytest.approx(17.0)
+    assert irq["nudma_mean_ns"] == pytest.approx(17.0)  # clamped, not 567
+    assert diff["nudma_share"] == pytest.approx(1.0)
+
+
+def test_inert_threshold_flags_noise_stages():
+    a = _report(10_000.0, {"stack": (9_000.0, 9_000.0),
+                           "app": (1_000.0, 1_000.0)})
+    b = _report(10_001.0, {"stack": (9_001.0, 9_001.0),
+                           "app": (1_000.0, 1_000.0)})
+    diff = diff_reports(a, b)
+    rows = {r["stage"]: r for r in diff["stages"]}
+    assert rows["stack"]["inert"] and rows["app"]["inert"]
+    assert "inert" in render_text(diff)
+
+
+def test_counter_and_result_diffs_ride_along():
+    a = _report(100.0, {"stack": (100.0, 100.0)})
+    b = _report(100.0, {"stack": (100.0, 100.0)})
+    a["counters"] = {"srv.qpi.util": 0.0, "srv.steady": 5.0}
+    b["counters"] = {"srv.qpi.util": 0.8, "srv.steady": 5.0}
+    a["result"] = {"mpps": 4.0}
+    b["result"] = {"mpps": 3.0}
+    diff = diff_reports(a, b)
+    counters = {r["name"]: r for r in diff["counters"]}
+    assert not counters["srv.qpi.util"]["inert"]
+    assert counters["srv.steady"]["inert"]
+    (mpps,) = diff["result_delta"]
+    assert mpps["delta"] == pytest.approx(-1.0)
+
+
+def test_ioctopus_vs_remote_attributes_delta_to_nudma_stages():
+    """The acceptance criterion: >= 80% of the pktgen delta lands on
+    QPI-transit and DDIO-miss/remote-DRAM stages."""
+    a = run_blame_point("pktgen", "ioctopus", size=256,
+                        duration_ns=SHORT_NS)
+    b = run_blame_point("pktgen", "remote", size=256,
+                        duration_ns=SHORT_NS)
+    diff = diff_reports(a, b, "ioctopus", "remote")
+    assert diff["conservation_ok"]
+    assert diff["e2e_delta"]["mean_ns"] > 0
+    assert diff["nudma_share"] >= 0.8
+    assert diff["nudma_tail_share"] >= 0.8
+
+
+def test_cli_diffs_two_saved_reports(tmp_path, capsys):
+    report = run_blame_point("pktgen", "remote", size=256,
+                             duration_ns=SHORT_NS)
+    path_a = tmp_path / "a.json"
+    path_b = tmp_path / "b.json"
+    path_a.write_text(json.dumps(report))
+    path_b.write_text(json.dumps(report))
+    out = tmp_path / "diff.json"
+    assert main(["--a", str(path_a), "--b", str(path_b),
+                 "--out", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "e2e mean" in text
+    saved = json.loads(out.read_text())
+    assert saved["e2e_delta"]["mean_ns"] == 0
+    assert all(row["inert"] for row in saved["stages"])

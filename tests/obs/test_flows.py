@@ -40,13 +40,40 @@ def test_flow_ids_increment_and_active_flow_clears():
     assert b.flow_id == a.flow_id + 1
 
 
-def test_flow_limit_caps_flows():
-    tracer = make_tracer(flow_limit=2)
-    assert tracer.begin_flow(0) is not None
-    tracer.active_flow.finish("x", "d", 0)
-    assert tracer.begin_flow(1) is not None
-    tracer.active_flow.finish("x", "d", 0)
-    assert tracer.begin_flow(2) is None        # over the cap
+def run_n_flows(tracer, n, start_ns=0):
+    recorded = []
+    for i in range(n):
+        flow = tracer.begin_flow(start_ns + i)
+        if flow is not None:
+            flow.finish("x", "d", 0)
+            recorded.append(flow.flow_id)
+    return recorded
+
+
+def test_flow_limit_stride_samples_across_the_run():
+    tracer = make_tracer(flow_limit=8)
+    run_n_flows(tracer, 100)
+    kept = sorted({r.flow_id for r in tracer.records})
+    # Never over the cap, and not the first-N prefix: survivors sit on
+    # one stride lattice spread across the whole candidate range.
+    assert len(kept) <= 8
+    assert kept == tracer._flow_ids
+    assert kept != list(range(len(kept)))
+    stride = tracer._flow_stride
+    assert stride > 1
+    assert all((i - tracer._flow_offset) % stride == 0 for i in kept)
+    assert max(kept) >= 50                     # late flows represented
+
+
+def test_flow_limit_under_cap_is_bit_identical():
+    capped = make_tracer(flow_limit=1000)
+    uncapped = make_tracer(flow_limit=10**9)
+    for tracer in (capped, uncapped):
+        for i in range(50):
+            flow = tracer.begin_flow(i * 10)
+            flow.step("wire", "rx", 5)
+            flow.finish("app", "done", 1)
+    assert capped.records == uncapped.records  # cap never hit => no-op
 
 
 def test_begin_flow_none_when_flows_off():
